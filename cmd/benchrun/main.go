@@ -1,0 +1,122 @@
+// Command benchrun regenerates the paper's evaluation tables and
+// figures on the synthetic datasets:
+//
+//	benchrun -table 2          # dataset statistics  (Table II)
+//	benchrun -table 3          # node classification (Table III)
+//	benchrun -table 4          # link prediction     (Table IV)
+//	benchrun -table 5          # ablation study      (Table V)
+//	benchrun -figure 6         # t-SNE case study    (Figure 6)
+//	benchrun -all              # everything
+//
+// By default runs use quick (small) settings; -full switches to larger
+// networks and paper-like hyperparameters. -points writes Figure 6
+// coordinates as TSV to the given file.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"transn/internal/experiments"
+)
+
+func main() {
+	var (
+		table   = flag.Int("table", 0, "table to regenerate (2, 3, 4, or 5)")
+		figure  = flag.Int("figure", 0, "figure to regenerate (6)")
+		all     = flag.Bool("all", false, "regenerate every table and figure")
+		cluster = flag.Bool("cluster", false, "run the node-clustering extension task (NMI)")
+		full    = flag.Bool("full", false, "use full-size networks and paper-like settings")
+		seed    = flag.Int64("seed", 1, "random seed")
+		dim     = flag.Int("dim", 0, "embedding dimensionality (default 32 quick / 64 full)")
+		reps    = flag.Int("reps", 0, "classification repetitions (default 3 quick / 10 full)")
+		points  = flag.String("points", "", "write Figure 6 coordinates as TSV to this file")
+		timings = flag.Bool("timings", false, "print wall-clock time per experiment")
+	)
+	flag.Parse()
+
+	opts := experiments.DefaultOptions()
+	if *full {
+		opts = experiments.FullOptions()
+	}
+	opts.Seed = *seed
+	if *dim > 0 {
+		opts.Dim = *dim
+	}
+	if *reps > 0 {
+		opts.Reps = *reps
+	}
+
+	if !*all && *table == 0 && *figure == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	run := func(name string, f func() error) {
+		start := time.Now()
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "benchrun: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		if *timings {
+			fmt.Printf("[%s took %v]\n", name, time.Since(start).Round(time.Millisecond))
+		}
+		fmt.Println()
+	}
+
+	if *all || *table == 2 {
+		run("table2", func() error {
+			experiments.Table2(os.Stdout, opts)
+			return nil
+		})
+	}
+	if *all || *table == 3 {
+		run("table3", func() error {
+			_, err := experiments.Table3(os.Stdout, opts)
+			return err
+		})
+	}
+	if *all || *table == 4 {
+		run("table4", func() error {
+			_, err := experiments.Table4(os.Stdout, opts)
+			return err
+		})
+	}
+	if *all || *table == 5 {
+		run("table5", func() error {
+			_, err := experiments.Table5(os.Stdout, opts)
+			return err
+		})
+	}
+	if *cluster {
+		run("clustering", func() error {
+			_, err := experiments.TableClustering(os.Stdout, opts)
+			return err
+		})
+	}
+	if *all || *figure == 6 {
+		run("figure6", func() error {
+			results, err := experiments.Figure6(os.Stdout, opts)
+			if err != nil {
+				return err
+			}
+			for _, r := range results {
+				experiments.RenderScatter(os.Stdout,
+					fmt.Sprintf("%s (silhouette %.4f)", r.Method, r.Silhouette),
+					r.Points, r.Labels, 72, 24)
+			}
+			if *points != "" {
+				f, err := os.Create(*points)
+				if err != nil {
+					return err
+				}
+				defer f.Close()
+				experiments.WriteFigure6Points(f, results)
+				fmt.Printf("  wrote coordinates to %s\n", *points)
+			}
+			return nil
+		})
+	}
+}

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+
+	"transn/internal/eval"
+	"transn/internal/graph"
+	"transn/internal/mat"
+)
+
+// cmdEvaluate scores previously trained embeddings on the paper's tasks:
+//
+//	transn evaluate -input net.tsv -emb emb.tsv -task classify [-reps 10]
+//	transn evaluate -input net.tsv -emb emb.tsv -task cluster
+//
+// Link prediction needs the model to be retrained on a split, so it is
+// exposed through `benchrun -table 4` rather than here.
+func cmdEvaluate(args []string) error {
+	fs := flag.NewFlagSet("evaluate", flag.ExitOnError)
+	input := fs.String("input", "", "input network TSV (required)")
+	embPath := fs.String("emb", "", "embeddings TSV from `transn train` (required)")
+	task := fs.String("task", "classify", "evaluation task: classify or cluster")
+	reps := fs.Int("reps", 10, "classification repetitions")
+	trainFrac := fs.Float64("train-frac", 0.9, "train fraction for classification")
+	seed := fs.Int64("seed", 1, "evaluation seed")
+	fs.Parse(args)
+	if *input == "" || *embPath == "" {
+		return fmt.Errorf("evaluate: -input and -emb are required")
+	}
+	g, err := loadGraph(*input)
+	if err != nil {
+		return err
+	}
+	emb, names, err := loadEmbeddings(*embPath)
+	if err != nil {
+		return err
+	}
+	aligned, err := alignEmbeddings(g, emb, names)
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(*seed))
+	switch *task {
+	case "classify":
+		macro, micro, err := eval.NodeClassification(aligned, g, *trainFrac, *reps, rng)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("node classification over %d labeled nodes (%d classes, %d reps):\n",
+			len(g.LabeledNodes()), g.NumLabels(), *reps)
+		fmt.Printf("  macro-F1: %.4f\n  micro-F1: %.4f\n", macro, micro)
+	case "cluster":
+		labeled := g.LabeledNodes()
+		if len(labeled) == 0 {
+			return fmt.Errorf("evaluate: no labeled nodes")
+		}
+		X := mat.New(len(labeled), aligned.C)
+		labels := make([]int, len(labeled))
+		for i, id := range labeled {
+			X.SetRow(i, aligned.Row(int(id)))
+			labels[i] = g.Label(id)
+		}
+		nmi := eval.NodeClustering(X, labels, g.NumLabels(), rng)
+		fmt.Printf("node clustering over %d labeled nodes (k = %d):\n",
+			len(labeled), g.NumLabels())
+		fmt.Printf("  NMI: %.4f\n", nmi)
+	default:
+		return fmt.Errorf("evaluate: unknown task %q", *task)
+	}
+	return nil
+}
+
+// alignEmbeddings reorders embedding rows (keyed by node name) into
+// graph NodeID order. Nodes missing from the file get zero rows; extra
+// names are rejected.
+func alignEmbeddings(g *graph.Graph, emb *mat.Dense, names []string) (*mat.Dense, error) {
+	byName := map[string]graph.NodeID{}
+	for _, n := range g.Nodes {
+		byName[n.Name] = n.ID
+	}
+	out := mat.New(g.NumNodes(), emb.C)
+	for i, name := range names {
+		id, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("embedding for unknown node %q", name)
+		}
+		out.SetRow(int(id), emb.Row(i))
+	}
+	return out, nil
+}

@@ -1,0 +1,3 @@
+module transn
+
+go 1.22

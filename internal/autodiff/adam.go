@@ -1,0 +1,53 @@
+package autodiff
+
+import (
+	"math"
+
+	"transn/internal/mat"
+)
+
+// Adam implements the Adam stochastic optimizer (Kingma & Ba, 2014), the
+// optimizer Algorithm 1 of the paper prescribes. One Adam instance manages
+// one parameter matrix; state is per-element first/second moments.
+type Adam struct {
+	LR      float64 // learning rate (paper default 0.025)
+	Beta1   float64
+	Beta2   float64
+	Epsilon float64
+
+	t    int
+	m, v *mat.Dense
+}
+
+// NewAdam returns an Adam optimizer with the given learning rate and the
+// conventional β₁=0.9, β₂=0.999, ε=1e-8 defaults.
+func NewAdam(lr float64) *Adam {
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Epsilon: 1e-8}
+}
+
+// Step applies one Adam update to param in place using grad, then leaves
+// grad untouched (callers zero grads via the next Backward).
+func (a *Adam) Step(param, grad *mat.Dense) {
+	if a.m == nil {
+		a.m = mat.New(param.R, param.C)
+		a.v = mat.New(param.R, param.C)
+	}
+	a.t++
+	b1c := 1 - math.Pow(a.Beta1, float64(a.t))
+	b2c := 1 - math.Pow(a.Beta2, float64(a.t))
+	for i := range param.Data {
+		g := grad.Data[i]
+		a.m.Data[i] = a.Beta1*a.m.Data[i] + (1-a.Beta1)*g
+		a.v.Data[i] = a.Beta2*a.v.Data[i] + (1-a.Beta2)*g*g
+		mhat := a.m.Data[i] / b1c
+		vhat := a.v.Data[i] / b2c
+		param.Data[i] -= a.LR * mhat / (math.Sqrt(vhat) + a.Epsilon)
+	}
+}
+
+// SGD performs one plain stochastic gradient descent step:
+// param -= lr * grad. Used by the skip-gram trainers, which follow the
+// word2vec convention of per-sample SGD with a decaying rate.
+func SGD(param, grad *mat.Dense, lr float64) {
+	mat.AddScaled(param, -lr, grad)
+}

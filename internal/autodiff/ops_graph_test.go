@@ -1,0 +1,130 @@
+package autodiff
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"transn/internal/mat"
+)
+
+func testSparse() *mat.Sparse {
+	// 3x3:
+	// [1 0 2]
+	// [0 3 0]
+	// [4 0 5]
+	return mat.NewSparse(3, 3, [][]mat.SparseEntry{
+		{{Col: 0, Val: 1}, {Col: 2, Val: 2}},
+		{{Col: 1, Val: 3}},
+		{{Col: 0, Val: 4}, {Col: 2, Val: 5}},
+	})
+}
+
+func TestSparseMulMatchesDense(t *testing.T) {
+	s := testSparse()
+	rng := rand.New(rand.NewSource(1))
+	x := mat.RandN(3, 4, 1, rng)
+	want := mat.MatMul(nil, s.ToDense(), x)
+	if got := s.Mul(nil, x); !got.Equal(want, 1e-12) {
+		t.Fatal("Sparse.Mul mismatch")
+	}
+	wantT := mat.MatMul(nil, mat.Transpose(nil, s.ToDense()), x)
+	if got := s.TMul(nil, x); !got.Equal(wantT, 1e-12) {
+		t.Fatal("Sparse.TMul mismatch")
+	}
+	if s.NNZ() != 5 {
+		t.Fatalf("NNZ = %d", s.NNZ())
+	}
+}
+
+func TestGradSparseMatMul(t *testing.T) {
+	s := testSparse()
+	checkOp(t, "SparseMatMul", [][2]int{{3, 4}}, func(tp *Tape, p []*Tensor) *Tensor {
+		return tp.MeanAll(tp.Square(tp.SparseMatMul(s, p[0])))
+	})
+}
+
+func TestGradGatherRows(t *testing.T) {
+	idx := []int{2, 0, 2, 1} // repeated row exercises scatter-add
+	checkOp(t, "GatherRows", [][2]int{{3, 4}}, func(tp *Tape, p []*Tensor) *Tensor {
+		return tp.MeanAll(tp.Square(tp.GatherRows(p[0], idx)))
+	})
+}
+
+func TestGatherRowsValues(t *testing.T) {
+	tp := NewTape()
+	x := tp.Constant(mat.FromSlice(3, 2, []float64{1, 2, 3, 4, 5, 6}))
+	g := tp.GatherRows(x, []int{2, 0})
+	want := mat.FromSlice(2, 2, []float64{5, 6, 1, 2})
+	if !g.Value.Equal(want, 0) {
+		t.Fatalf("GatherRows = %v", g.Value)
+	}
+}
+
+func TestGradSumRows(t *testing.T) {
+	checkOp(t, "SumRows", [][2]int{{4, 3}}, func(tp *Tape, p []*Tensor) *Tensor {
+		return tp.MeanAll(tp.Square(tp.SumRows(p[0])))
+	})
+}
+
+func TestGradLogisticLoss(t *testing.T) {
+	labels := []float64{1, -1, 1, -1}
+	checkOp(t, "LogisticLoss", [][2]int{{4, 1}}, func(tp *Tape, p []*Tensor) *Tensor {
+		return tp.LogisticLoss(p[0], labels)
+	})
+}
+
+func TestLogisticLossValues(t *testing.T) {
+	tp := NewTape()
+	s := tp.Constant(mat.FromSlice(2, 1, []float64{0, 0}))
+	loss := tp.LogisticLoss(s, []float64{1, -1})
+	if got := loss.Value.At(0, 0); math.Abs(got-math.Log(2)) > 1e-12 {
+		t.Fatalf("loss at zero scores = %v want ln2", got)
+	}
+	// Large correct scores → near-zero loss.
+	tp2 := NewTape()
+	s2 := tp2.Constant(mat.FromSlice(2, 1, []float64{50, -50}))
+	loss2 := tp2.LogisticLoss(s2, []float64{1, -1})
+	if got := loss2.Value.At(0, 0); got > 1e-10 {
+		t.Fatalf("confident loss = %v", got)
+	}
+}
+
+func TestSoftplusStable(t *testing.T) {
+	if got := softplus(1000); got != 1000 {
+		t.Fatalf("softplus(1000) = %v", got)
+	}
+	if got := softplus(-1000); got != 0 {
+		t.Fatalf("softplus(-1000) = %v", got)
+	}
+	if got := softplus(0); math.Abs(got-math.Log(2)) > 1e-12 {
+		t.Fatalf("softplus(0) = %v", got)
+	}
+}
+
+func TestGradLayerNormRows(t *testing.T) {
+	checkOp(t, "LayerNormRows", [][2]int{{4, 6}, {4, 6}}, func(tp *Tape, p []*Tensor) *Tensor {
+		// Weight the normalized output so gradients vary per element.
+		return tp.MeanAll(tp.ElemMul(tp.LayerNormRows(p[0]), p[1]))
+	})
+}
+
+func TestLayerNormRowsValues(t *testing.T) {
+	tp := NewTape()
+	x := tp.Constant(mat.FromSlice(2, 4, []float64{1, 2, 3, 4, -5, -5, 5, 5}))
+	y := tp.LayerNormRows(x)
+	for i := 0; i < 2; i++ {
+		var mean, varr float64
+		for _, v := range y.Value.Row(i) {
+			mean += v
+		}
+		mean /= 4
+		for _, v := range y.Value.Row(i) {
+			varr += (v - mean) * (v - mean)
+		}
+		varr /= 4
+		if math.Abs(mean) > 1e-9 || math.Abs(varr-1) > 1e-3 {
+			t.Fatalf("row %d mean %v var %v", i, mean, varr)
+		}
+	}
+}

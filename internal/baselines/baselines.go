@@ -1,0 +1,19 @@
+// Package baselines defines the interface shared by the seven compared
+// embedding methods of Section IV-A2 (LINE, node2vec, metapath2vec,
+// HIN2VEC, MVE, R-GCN, SimplE), each implemented in its own subpackage.
+package baselines
+
+import (
+	"transn/internal/graph"
+	"transn/internal/mat"
+)
+
+// Method is an embedding method under evaluation: it maps a
+// heterogeneous network to one d-dimensional vector per node (one row
+// per global NodeID). Implementations must be deterministic in seed.
+type Method interface {
+	// Name returns the display name used in result tables.
+	Name() string
+	// Embed trains the method on g and returns a NumNodes×dim matrix.
+	Embed(g *graph.Graph, dim int, seed int64) (*mat.Dense, error)
+}

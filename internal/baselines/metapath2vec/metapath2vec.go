@@ -1,0 +1,145 @@
+// Package metapath2vec implements metapath2vec (Dong et al., KDD 2017):
+// random walks constrained by a user-specified meta-path, followed by
+// skip-gram with negative sampling. Per the paper's setup (Section
+// IV-A3), each dataset supplies its own meta-path, e.g. "APVPA" on
+// AMiner.
+package metapath2vec
+
+import (
+	"fmt"
+	"math/rand"
+
+	"transn/internal/graph"
+	"transn/internal/mat"
+	"transn/internal/skipgram"
+	"transn/internal/walk"
+)
+
+// Method is the metapath2vec baseline. Pattern is required.
+type Method struct {
+	// Pattern is the cyclic meta-path as node-type names, first == last,
+	// e.g. ["author", "paper", "venue", "paper", "author"].
+	Pattern []string
+
+	WalkLength int     // default 40
+	NumWalks   int     // walks per start node, default 10
+	Window     int     // default 5
+	Negative   int     // default 5
+	LR         float64 // default 0.025
+	Epochs     int     // default 2
+}
+
+// Name implements baselines.Method.
+func (Method) Name() string { return "Metapath2Vec" }
+
+func (m Method) withDefaults() Method {
+	if m.WalkLength == 0 {
+		m.WalkLength = 40
+	}
+	if m.NumWalks == 0 {
+		m.NumWalks = 10
+	}
+	if m.Window == 0 {
+		m.Window = 5
+	}
+	if m.Negative == 0 {
+		m.Negative = 5
+	}
+	if m.LR == 0 {
+		m.LR = 0.025
+	}
+	if m.Epochs == 0 {
+		m.Epochs = 2
+	}
+	return m
+}
+
+// Embed implements baselines.Method.
+func (m Method) Embed(g *graph.Graph, dim int, seed int64) (*mat.Dense, error) {
+	m = m.withDefaults()
+	if len(m.Pattern) < 3 {
+		return nil, fmt.Errorf("metapath2vec: pattern needs at least 3 hops, got %v", m.Pattern)
+	}
+	if m.Pattern[0] != m.Pattern[len(m.Pattern)-1] {
+		return nil, fmt.Errorf("metapath2vec: pattern must be cyclic (first == last), got %v", m.Pattern)
+	}
+	// Resolve type names.
+	types := make([]graph.NodeType, len(m.Pattern))
+	for i, name := range m.Pattern {
+		found := false
+		for t, tn := range g.NodeTypeNames {
+			if tn == name {
+				types[i] = graph.NodeType(t)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("metapath2vec: unknown node type %q", name)
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	adj := walk.NewAdj(g)
+	mp := walk.MetaPath{Adj: adj, Pattern: types}
+
+	var paths [][]int
+	for _, n := range g.Nodes {
+		if n.Type != types[0] {
+			continue
+		}
+		for w := 0; w < m.NumWalks; w++ {
+			p := mp.Walk(n.ID, m.WalkLength, rng)
+			if len(p) >= 2 {
+				ints := make([]int, len(p))
+				for i, id := range p {
+					ints[i] = int(id)
+				}
+				paths = append(paths, ints)
+			}
+		}
+	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("metapath2vec: pattern %v produced no walks", m.Pattern)
+	}
+	model := skipgram.NewModel(g.NumNodes(), dim, rng)
+	neg := skipgram.NewNegSampler(skipgram.CorpusFrequencies(paths, g.NumNodes()))
+	offsets := skipgram.SymmetricOffsets(m.Window)
+	for e := 0; e < m.Epochs; e++ {
+		lr := m.LR * (1 - float64(e)/float64(m.Epochs))
+		model.TrainCorpus(paths, offsets, m.Negative, lr, neg, rng)
+	}
+	return model.In, nil
+}
+
+// DefaultPattern suggests a meta-path for a graph by mirroring the
+// paper's choices: it finds the labeled node type L and a bridging type
+// B adjacent to it and returns L-B-L; when a second-hop type C exists
+// (as in AMiner's APVPA) callers should prefer an explicit pattern.
+func DefaultPattern(g *graph.Graph) []string {
+	labeledType := -1
+	for _, n := range g.Nodes {
+		if n.Label != graph.NoLabel {
+			labeledType = int(n.Type)
+			break
+		}
+	}
+	if labeledType < 0 {
+		if g.NumNodeTypes() > 0 {
+			t := g.NodeTypeNames[0]
+			return []string{t, t, t}
+		}
+		return nil
+	}
+	// Find a neighbor type via any edge touching the labeled type.
+	for _, e := range g.Edges {
+		tu, tv := int(g.Nodes[e.U].Type), int(g.Nodes[e.V].Type)
+		if tu == labeledType && tv != labeledType {
+			return []string{g.NodeTypeNames[tu], g.NodeTypeNames[tv], g.NodeTypeNames[tu]}
+		}
+		if tv == labeledType && tu != labeledType {
+			return []string{g.NodeTypeNames[tv], g.NodeTypeNames[tu], g.NodeTypeNames[tv]}
+		}
+	}
+	t := g.NodeTypeNames[labeledType]
+	return []string{t, t, t}
+}

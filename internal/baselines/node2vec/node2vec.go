@@ -1,0 +1,96 @@
+// Package node2vec implements node2vec (Grover & Leskovec, KDD 2016):
+// (p, q)-biased second-order random walks over the type-blind merged
+// network followed by skip-gram with negative sampling. With P=Q=1 it
+// degenerates to DeepWalk.
+package node2vec
+
+import (
+	"fmt"
+	"math/rand"
+
+	"transn/internal/graph"
+	"transn/internal/mat"
+	"transn/internal/skipgram"
+	"transn/internal/walk"
+)
+
+// Method is the node2vec baseline. Zero values take defaults.
+type Method struct {
+	P, Q       float64 // return / in-out parameters (default 1, 1)
+	WalkLength int     // default 40
+	NumWalks   int     // walks per node, default 10
+	Window     int     // skip-gram window, default 5
+	Negative   int     // default 5
+	LR         float64 // default 0.025
+	Epochs     int     // passes over the corpus, default 2
+}
+
+// Name implements baselines.Method.
+func (m Method) Name() string {
+	if m.P == 1 && m.Q == 1 {
+		return "DeepWalk"
+	}
+	return "Node2Vec"
+}
+
+func (m Method) withDefaults() Method {
+	if m.P == 0 {
+		m.P = 1
+	}
+	if m.Q == 0 {
+		m.Q = 1
+	}
+	if m.WalkLength == 0 {
+		m.WalkLength = 40
+	}
+	if m.NumWalks == 0 {
+		m.NumWalks = 10
+	}
+	if m.Window == 0 {
+		m.Window = 5
+	}
+	if m.Negative == 0 {
+		m.Negative = 5
+	}
+	if m.LR == 0 {
+		m.LR = 0.025
+	}
+	if m.Epochs == 0 {
+		m.Epochs = 2
+	}
+	return m
+}
+
+// Embed implements baselines.Method.
+func (m Method) Embed(g *graph.Graph, dim int, seed int64) (*mat.Dense, error) {
+	m = m.withDefaults()
+	if g.NumEdges() == 0 {
+		return nil, fmt.Errorf("node2vec: graph has no edges")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	v := graph.MergedView(g)
+	walker := walk.Node2Vec{P: m.P, Q: m.Q}
+
+	var paths [][]int
+	for w := 0; w < m.NumWalks; w++ {
+		for l := 0; l < v.NumNodes(); l++ {
+			p := walker.Walk(v, l, m.WalkLength, rng)
+			if len(p) >= 2 {
+				paths = append(paths, p)
+			}
+		}
+	}
+	model := skipgram.NewModel(v.NumNodes(), dim, rng)
+	neg := skipgram.NewNegSampler(skipgram.CorpusFrequencies(paths, v.NumNodes()))
+	offsets := skipgram.SymmetricOffsets(m.Window)
+	for e := 0; e < m.Epochs; e++ {
+		lr := m.LR * (1 - float64(e)/float64(m.Epochs))
+		model.TrainCorpus(paths, offsets, m.Negative, lr, neg, rng)
+	}
+	// Map local (merged-view) rows back to global node IDs.
+	out := mat.New(g.NumNodes(), dim)
+	for l := 0; l < v.NumNodes(); l++ {
+		out.SetRow(int(v.Global(l)), model.In.Row(l))
+	}
+	return out, nil
+}

@@ -1,0 +1,137 @@
+// Package rotate implements RotatE (Sun et al., ICLR 2019), the
+// rotation-based knowledge-graph embedding cited in the paper's related
+// work. Entities live in complex space (dim/2 complex coordinates);
+// each relation is a rotation (unit-modulus phases), and triples are
+// scored by −‖h ∘ r − t‖ with self-adversarial-free margin loss against
+// corrupted negatives. Provided as an extension baseline beyond the
+// paper's seven compared methods.
+package rotate
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"transn/internal/graph"
+	"transn/internal/mat"
+)
+
+// Method is the RotatE extension baseline. Zero values take defaults.
+type Method struct {
+	Epochs   int     // passes over the edge list (default 60)
+	LR       float64 // SGD rate (default 0.02)
+	Margin   float64 // γ in the margin loss (default 4)
+	Negative int     // negatives per positive (default 2)
+}
+
+// Name implements baselines.Method.
+func (Method) Name() string { return "RotatE" }
+
+// Embed implements baselines.Method. dim must be even (complex pairs);
+// odd dims are rounded down internally and padded with a zero column.
+func (m Method) Embed(g *graph.Graph, dim int, seed int64) (*mat.Dense, error) {
+	if m.Epochs == 0 {
+		m.Epochs = 60
+	}
+	if m.LR == 0 {
+		m.LR = 0.02
+	}
+	if m.Margin == 0 {
+		m.Margin = 4
+	}
+	if m.Negative == 0 {
+		m.Negative = 2
+	}
+	if g.NumEdges() == 0 {
+		return nil, fmt.Errorf("rotate: graph has no edges")
+	}
+	half := dim / 2
+	if half == 0 {
+		return nil, fmt.Errorf("rotate: dim %d too small for complex pairs", dim)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	n := g.NumNodes()
+	// Entity re/im parts and relation phases.
+	re := mat.RandUniform(n, half, -0.5, 0.5, rng)
+	im := mat.RandUniform(n, half, -0.5, 0.5, rng)
+	phase := mat.RandUniform(g.NumEdgeTypes(), half, -math.Pi, math.Pi, rng)
+
+	// score distance: d(h∘r, t) summed over complex coordinates
+	// (L1 over complex moduli, as in the original).
+	dist := func(h, r, t int) float64 {
+		hr, hi := re.Row(h), im.Row(h)
+		tr, ti := re.Row(t), im.Row(t)
+		ph := phase.Row(r)
+		var s float64
+		for k := 0; k < half; k++ {
+			c, sn := math.Cos(ph[k]), math.Sin(ph[k])
+			dr := hr[k]*c - hi[k]*sn - tr[k]
+			di := hr[k]*sn + hi[k]*c - ti[k]
+			s += math.Sqrt(dr*dr + di*di)
+		}
+		return s
+	}
+	// One SGD step toward lower (label=+1) or higher (label=-1) distance.
+	step := func(h, r, t int, dir, lr float64) {
+		hr, hi := re.Row(h), im.Row(h)
+		tr, ti := re.Row(t), im.Row(t)
+		ph := phase.Row(r)
+		for k := 0; k < half; k++ {
+			c, sn := math.Cos(ph[k]), math.Sin(ph[k])
+			rotRe := hr[k]*c - hi[k]*sn
+			rotIm := hr[k]*sn + hi[k]*c
+			dr := rotRe - tr[k]
+			di := rotIm - ti[k]
+			mod := math.Sqrt(dr*dr + di*di)
+			if mod < 1e-9 {
+				continue
+			}
+			gr := dir * dr / mod // ∂|·|/∂(rotRe)
+			gi := dir * di / mod
+			// Chain into h (through the rotation), t, and the phase.
+			hr[k] -= lr * (gr*c + gi*sn)
+			hi[k] -= lr * (-gr*sn + gi*c)
+			tr[k] += lr * gr
+			ti[k] += lr * gi
+			// ∂rotRe/∂φ = −rotIm, ∂rotIm/∂φ = rotRe.
+			ph[k] -= lr * (gr*(-rotIm) + gi*rotRe)
+		}
+	}
+
+	order := make([]int, g.NumEdges())
+	for i := range order {
+		order[i] = i
+	}
+	for epoch := 0; epoch < m.Epochs; epoch++ {
+		lr := m.LR * (1 - float64(epoch)/float64(m.Epochs))
+		rng.Shuffle(len(order), func(a, b int) { order[a], order[b] = order[b], order[a] })
+		for _, ei := range order {
+			e := g.Edges[ei]
+			h, t, r := int(e.U), int(e.V), int(e.Type)
+			dPos := dist(h, r, t)
+			for k := 0; k < m.Negative; k++ {
+				h2, t2 := h, t
+				if rng.Intn(2) == 0 {
+					h2 = rng.Intn(n)
+				} else {
+					t2 = rng.Intn(n)
+				}
+				if m.Margin+dPos-dist(h2, r, t2) <= 0 {
+					continue
+				}
+				step(h, r, t, 1, lr)    // pull the positive together
+				step(h2, r, t2, -1, lr) // push the negative apart
+			}
+		}
+	}
+
+	// Final node embedding: concatenated real and imaginary parts
+	// (padded with a zero column when dim is odd).
+	out := mat.New(n, dim)
+	for i := 0; i < n; i++ {
+		row := out.Row(i)
+		copy(row[:half], re.Row(i))
+		copy(row[half:2*half], im.Row(i))
+	}
+	return out, nil
+}

@@ -1,0 +1,386 @@
+// Package dataset generates synthetic heterogeneous networks that stand
+// in for the paper's four evaluation datasets (Table II): AMiner, BLOG,
+// App-Daily and App-Weekly. The originals are respectively licensed
+// academic data and proprietary Tencent logs; the generators reproduce
+// their schemas (node/edge types, weights, labels) and the structural
+// properties the paper's analysis leans on:
+//
+//   - AMiner: four edge types (AA, AP, PP, PV), unit weights, papers
+//     labeled with research topics. Co-authorship is substantially
+//     cross-topic (collaboration noise) and venues host multiple topics,
+//     so type-blind merged walks blur topics while per-view learning
+//     keeps the citation/authorship signal usable.
+//   - BLOG: three edge types (UU, UK, KK), unit weights, very dense.
+//     Friendship (UU) is heavily noisy while keyword usage (UK) is
+//     field-pure: methods that separate views and transfer across them
+//     recover the signal; type-blind walks drown in dense UU noise. The
+//     views remain correlated (UU retains a field bias), which is what
+//     makes cross-view transfer effective for link prediction
+//     (Section IV-B2).
+//   - App-Daily / App-Weekly: two edge types (AU, AK) with informative
+//     continuous weights. Users are multi-interest: each uses applets of
+//     several categories, and the *weight level* (usage time) encodes
+//     which interest an edge belongs to. Recovering categories from the
+//     AU view therefore requires weight-correlated walks (Equation 7) —
+//     plain weight-biased walks mix the user's interests. A labeled
+//     subset of applets carries one of 9 categories (Figure 6).
+//
+// All generators are deterministic in their seed.
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"transn/internal/graph"
+)
+
+// Size selects the scale of generated networks.
+type Size int
+
+const (
+	// Quick generates small networks suitable for unit tests and fast
+	// benchmark passes.
+	Quick Size = iota
+	// Full generates networks roughly 10× smaller than the paper's but
+	// large enough for the evaluation shape to be meaningful.
+	Full
+)
+
+// Spec names a generator so harnesses can iterate over all datasets.
+type Spec struct {
+	Name     string
+	Generate func(size Size, seed int64) *graph.Graph
+}
+
+// All returns the four dataset generators in the paper's Table II order.
+func All() []Spec {
+	return []Spec{
+		{Name: "AMiner", Generate: AMiner},
+		{Name: "BLOG", Generate: BLOG},
+		{Name: "App-Daily", Generate: AppDaily},
+		{Name: "App-Weekly", Generate: AppWeekly},
+	}
+}
+
+// edgeSet deduplicates undirected edges during generation.
+type edgeSet map[[2]graph.NodeID]bool
+
+func (s edgeSet) add(b *graph.Builder, u, v graph.NodeID, et graph.EdgeType, w float64) bool {
+	if u == v {
+		return false
+	}
+	if u > v {
+		u, v = v, u
+	}
+	k := [2]graph.NodeID{u, v}
+	if s[k] {
+		return false
+	}
+	s[k] = true
+	b.AddEdge(u, v, et, w)
+	return true
+}
+
+// AMiner generates an academic network: authors, papers, venues; edge
+// types AA (co-authorship), AP (authorship), PP (citation), PV
+// (publication). Papers carry topic labels.
+func AMiner(size Size, seed int64) *graph.Graph {
+	nAuthors, nPapers, nVenues, nTopics := 220, 280, 9, 7
+	if size == Full {
+		nAuthors, nPapers, nVenues, nTopics = 450, 520, 12, 6
+	}
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder()
+	author := b.NodeType("author")
+	paper := b.NodeType("paper")
+	venue := b.NodeType("venue")
+	aa := b.EdgeType("AA")
+	ap := b.EdgeType("AP")
+	pp := b.EdgeType("PP")
+	pv := b.EdgeType("PV")
+
+	authors := make([]graph.NodeID, nAuthors)
+	authorTopic := make([]int, nAuthors)
+	for i := range authors {
+		authors[i] = b.AddNode(author, fmt.Sprintf("a%d", i))
+		authorTopic[i] = i % nTopics
+	}
+	papers := make([]graph.NodeID, nPapers)
+	paperTopic := make([]int, nPapers)
+	for i := range papers {
+		papers[i] = b.AddNode(paper, fmt.Sprintf("p%d", i))
+		paperTopic[i] = i % nTopics
+		b.SetLabel(papers[i], paperTopic[i])
+	}
+	venues := make([]graph.NodeID, nVenues)
+	for i := range venues {
+		venues[i] = b.AddNode(venue, fmt.Sprintf("v%d", i))
+	}
+
+	seen := edgeSet{}
+	pickTopic := func(topic int, n int, purity float64) int {
+		if rng.Float64() < purity {
+			return (rng.Intn(n/nTopics)*nTopics + topic) % n
+		}
+		return rng.Intn(n)
+	}
+	// Authorship: each paper has 1–2 authors, mostly from its topic.
+	for i, p := range papers {
+		k := 1 + rng.Intn(2)
+		for j := 0; j < k; j++ {
+			a := pickTopic(paperTopic[i], nAuthors, 0.75)
+			seen.add(b, p, authors[a], ap, 1)
+		}
+	}
+	// Co-authorship: collaborations frequently cross topics, so the AA
+	// view is a noisy bridge when types are ignored.
+	for i := range authors {
+		k := 1 + rng.Intn(3)
+		for j := 0; j < k; j++ {
+			other := pickTopic(authorTopic[i], nAuthors, 0.45)
+			seen.add(b, authors[i], authors[other], aa, 1)
+		}
+	}
+	// Citation: papers cite 1–2 mostly same-topic papers.
+	for i := range papers {
+		k := 1 + rng.Intn(2)
+		for j := 0; j < k; j++ {
+			other := pickTopic(paperTopic[i], nPapers, 0.7)
+			seen.add(b, papers[i], papers[other], pp, 1)
+		}
+	}
+	// Publication: venues host two adjacent topics, so a venue hub mixes
+	// topics for type-blind walkers.
+	for i, p := range papers {
+		base := paperTopic[i]
+		v := base
+		if rng.Float64() < 0.5 {
+			v = base + 1
+		}
+		if rng.Float64() < 0.1 {
+			v = rng.Intn(nVenues)
+		}
+		seen.add(b, p, venues[v%nVenues], pv, 1)
+	}
+	g, err := b.Build()
+	if err != nil {
+		panic(fmt.Sprintf("dataset: AMiner: %v", err))
+	}
+	return g
+}
+
+// BLOG generates a dense social network: users and keywords; edge types
+// UU (friendship), UK (keyword usage), KK (keyword relevance). Users are
+// labeled with interest fields. UU is dense and only weakly field-
+// correlated (social noise); UK/KK are field-pure.
+func BLOG(size Size, seed int64) *graph.Graph {
+	nUsers, nKeywords, nFields := 260, 60, 5
+	degUU := 12
+	if size == Full {
+		nUsers, nKeywords, nFields = 700, 130, 6
+		degUU = 16
+	}
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder()
+	user := b.NodeType("user")
+	keyword := b.NodeType("keyword")
+	uu := b.EdgeType("UU")
+	uk := b.EdgeType("UK")
+	kk := b.EdgeType("KK")
+
+	users := make([]graph.NodeID, nUsers)
+	field := make([]int, nUsers)
+	circle := make([]int, nUsers)
+	nCircles := nUsers / 8
+	for i := range users {
+		users[i] = b.AddNode(user, fmt.Sprintf("u%d", i))
+		field[i] = i % nFields
+		circle[i] = rng.Intn(nCircles) // circles cut across fields
+		b.SetLabel(users[i], field[i])
+	}
+	circleMembers := make([][]int, nCircles)
+	for i := range users {
+		circleMembers[circle[i]] = append(circleMembers[circle[i]], i)
+	}
+	keywords := make([]graph.NodeID, nKeywords)
+	kwField := make([]int, nKeywords)
+	for i := range keywords {
+		keywords[i] = b.AddNode(keyword, fmt.Sprintf("k%d", i))
+		kwField[i] = i % nFields
+	}
+	circleKws := make([][]graph.NodeID, nCircles)
+	for c := range circleKws {
+		for j := 0; j < 2; j++ {
+			circleKws[c] = append(circleKws[c], b.AddNode(keyword, fmt.Sprintf("ck%d_%d", c, j)))
+		}
+	}
+	seen := edgeSet{}
+	sameField := func(f, n, nf int, purity float64) int {
+		if rng.Float64() < purity {
+			return (rng.Intn(n/nf)*nf + f) % n
+		}
+		return rng.Intn(n)
+	}
+	// Dense friendships follow mixed-field social circles plus random
+	// noise. Circles cut across interest fields, so the UU view stays
+	// uninformative for classification, but removed friendships are
+	// locally predictable — the link-prediction signal.
+	for i := range users {
+		members := circleMembers[circle[i]]
+		for j := 0; j < degUU; j++ {
+			var other int
+			if rng.Float64() < 0.55 && len(members) > 1 {
+				other = members[rng.Intn(len(members))]
+			} else {
+				other = sameField(field[i], nUsers, nFields, 0.22)
+			}
+			seen.add(b, users[i], users[other], uu, 1)
+		}
+	}
+	// Keyword usage: users post field keywords (classification signal)
+	// and a couple of keywords owned by their circle, which lets the UK
+	// view predict UU links through shared users (the paper's BLOG
+	// link-prediction story, Section IV-B2).
+	for i := range users {
+		for j := 0; j < 4; j++ {
+			k := sameField(field[i], nKeywords, nFields, 0.72)
+			seen.add(b, users[i], keywords[k], uk, 1)
+		}
+		for j := 0; j < 2; j++ {
+			if rng.Float64() < 0.8 {
+				seen.add(b, users[i], circleKws[circle[i]][j], uk, 1)
+			}
+		}
+	}
+	// Keyword relevance: within-field keyword links; circle keywords
+	// attach to one field keyword each so the KK view stays connected.
+	for i := range keywords {
+		for j := 0; j < 3; j++ {
+			other := sameField(kwField[i], nKeywords, nFields, 0.9)
+			seen.add(b, keywords[i], keywords[other], kk, 1)
+		}
+	}
+	for c := range circleKws {
+		for _, ck := range circleKws[c] {
+			seen.add(b, ck, keywords[rng.Intn(nKeywords)], kk, 1)
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		panic(fmt.Sprintf("dataset: BLOG: %v", err))
+	}
+	return g
+}
+
+// appStore is the shared generator behind AppDaily and AppWeekly. Users
+// are multi-interest: each has 2–3 interest categories with distinct
+// per-category usage levels; every AU edge's weight is the level of the
+// interest that produced it (plus noise). Two applets reached through
+// the same user therefore share a category exactly when their edge
+// weights are similar — the structure Equation 7's correlated walks
+// exploit and plain weight-biased walks cannot. Keywords (AK) carry a
+// cleaner topological category signal, so the two views complement each
+// other through shared applets.
+func appStore(nApplets, nUsers, nKeywords, usagePerUser int, labeledFrac float64, seed int64) *graph.Graph {
+	const nCategories = 9
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder()
+	applet := b.NodeType("applet")
+	user := b.NodeType("user")
+	keyword := b.NodeType("keyword")
+	au := b.EdgeType("AU")
+	ak := b.EdgeType("AK")
+
+	applets := make([]graph.NodeID, nApplets)
+	category := make([]int, nApplets)
+	for i := range applets {
+		applets[i] = b.AddNode(applet, fmt.Sprintf("x%d", i))
+		category[i] = i % nCategories
+		if rng.Float64() < labeledFrac {
+			b.SetLabel(applets[i], category[i])
+		}
+	}
+	users := make([]graph.NodeID, nUsers)
+	// Each user has 2–3 interests, each with its own distinct usage
+	// level drawn from well-separated bands.
+	type interest struct {
+		cat   int
+		level float64
+	}
+	userInterests := make([][]interest, nUsers)
+	// Levels are close enough that no interest dominates the sampling
+	// mass, yet separated by more than the ±5% weight noise so the
+	// correlated walk (Equation 7) can tell interests apart.
+	levels := []float64{5, 7, 10, 14, 20}
+	for i := range users {
+		users[i] = b.AddNode(user, fmt.Sprintf("u%d", i))
+		k := 3 + rng.Intn(2)
+		perm := rng.Perm(nCategories)
+		lperm := rng.Perm(len(levels))
+		for j := 0; j < k; j++ {
+			userInterests[i] = append(userInterests[i], interest{
+				cat:   perm[j],
+				level: levels[lperm[j%len(levels)]],
+			})
+		}
+	}
+	keywords := make([]graph.NodeID, nKeywords)
+	kwCat := make([]int, nKeywords)
+	for i := range keywords {
+		keywords[i] = b.AddNode(keyword, fmt.Sprintf("q%d", i))
+		kwCat[i] = i % nCategories
+	}
+	seen := edgeSet{}
+	pickApplet := func(cat int, purity float64) int {
+		if rng.Float64() < purity {
+			return (rng.Intn(nApplets/nCategories)*nCategories + cat) % nApplets
+		}
+		return rng.Intn(nApplets)
+	}
+	// Usage: each usage event comes from one of the user's interests;
+	// the weight is that interest's level. Because a user's interests
+	// span categories, topology alone mixes categories — the weight
+	// level is the disambiguator.
+	for i := range users {
+		for j := 0; j < usagePerUser; j++ {
+			in := userInterests[i][rng.Intn(len(userInterests[i]))]
+			x := pickApplet(in.cat, 0.9)
+			w := in.level * (0.95 + 0.1*rng.Float64())
+			seen.add(b, users[i], applets[x], au, w)
+		}
+	}
+	// Search downloads: keywords connect to applets mostly in their own
+	// category; weights are download counts (less informative).
+	for i := range keywords {
+		k := 2 + rng.Intn(3)
+		for j := 0; j < k; j++ {
+			x := pickApplet(kwCat[i], 0.75)
+			w := 1 + float64(rng.Intn(8))
+			seen.add(b, keywords[i], applets[x], ak, w)
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		panic(fmt.Sprintf("dataset: appStore: %v", err))
+	}
+	return g
+}
+
+// AppDaily generates the one-day applet-store network: sparse, few
+// users, weighted.
+func AppDaily(size Size, seed int64) *graph.Graph {
+	if size == Full {
+		return appStore(900, 140, 200, 14, 0.5, seed)
+	}
+	return appStore(360, 60, 90, 12, 0.6, seed)
+}
+
+// AppWeekly generates the one-week applet-store network: more users and
+// heavier usage than AppDaily, same schema.
+func AppWeekly(size Size, seed int64) *graph.Graph {
+	if size == Full {
+		return appStore(1000, 420, 210, 16, 0.5, seed)
+	}
+	return appStore(420, 170, 95, 14, 0.6, seed)
+}

@@ -1,0 +1,164 @@
+package dataset
+
+import (
+	"testing"
+
+	"transn/internal/graph"
+)
+
+func TestAllSpecsGenerate(t *testing.T) {
+	for _, spec := range All() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			g := spec.Generate(Quick, 1)
+			if g.NumNodes() == 0 || g.NumEdges() == 0 {
+				t.Fatal("empty graph")
+			}
+			// Views must partition edges and validate.
+			total := 0
+			for _, v := range g.Views() {
+				if err := v.Validate(); err != nil {
+					t.Fatalf("view invalid: %v", err)
+				}
+				total += v.NumEdges()
+			}
+			if total != g.NumEdges() {
+				t.Fatalf("views cover %d of %d edges", total, g.NumEdges())
+			}
+			if len(g.LabeledNodes()) == 0 {
+				t.Fatal("no labeled nodes")
+			}
+			if len(g.ViewPairs()) == 0 {
+				t.Fatal("no view pairs — cross-view algorithm would be idle")
+			}
+		})
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	for _, spec := range All() {
+		g1 := spec.Generate(Quick, 42)
+		g2 := spec.Generate(Quick, 42)
+		if g1.NumNodes() != g2.NumNodes() || g1.NumEdges() != g2.NumEdges() {
+			t.Fatalf("%s: nondeterministic sizes", spec.Name)
+		}
+		for i := range g1.Edges {
+			if g1.Edges[i] != g2.Edges[i] {
+				t.Fatalf("%s: edge %d differs", spec.Name, i)
+			}
+		}
+		g3 := spec.Generate(Quick, 43)
+		same := g1.NumEdges() == g3.NumEdges()
+		if same {
+			diff := false
+			for i := range g1.Edges {
+				if g1.Edges[i] != g3.Edges[i] {
+					diff = true
+					break
+				}
+			}
+			same = !diff
+		}
+		if same {
+			t.Fatalf("%s: different seeds gave identical graphs", spec.Name)
+		}
+	}
+}
+
+func TestAMinerSchema(t *testing.T) {
+	g := AMiner(Quick, 1)
+	if g.NumNodeTypes() != 3 {
+		t.Fatalf("node types %d", g.NumNodeTypes())
+	}
+	if g.NumEdgeTypes() != 4 {
+		t.Fatalf("edge types %d: %v", g.NumEdgeTypes(), g.EdgeTypeNames)
+	}
+	// Only papers are labeled.
+	for _, id := range g.LabeledNodes() {
+		if g.NodeTypeNames[g.NodeType(id)] != "paper" {
+			t.Fatal("non-paper node labeled in AMiner")
+		}
+	}
+	// Unit weights.
+	for _, e := range g.Edges {
+		if e.Weight != 1 {
+			t.Fatal("AMiner must have unit weights")
+		}
+	}
+}
+
+func TestBLOGSchemaAndDensity(t *testing.T) {
+	g := BLOG(Quick, 1)
+	if g.NumEdgeTypes() != 3 {
+		t.Fatalf("edge types %d", g.NumEdgeTypes())
+	}
+	for _, e := range g.Edges {
+		if e.Weight != 1 {
+			t.Fatal("BLOG must have unit weights")
+		}
+	}
+	// BLOG must be denser than App-Daily (the paper: >20× denser; we
+	// require a clear gap).
+	blogStats := g.ComputeStats()
+	appStats := AppDaily(Quick, 1).ComputeStats()
+	if blogStats.Density < 3*appStats.Density {
+		t.Fatalf("BLOG density %.5f should far exceed App-Daily %.5f",
+			blogStats.Density, appStats.Density)
+	}
+}
+
+func TestAppStoreSchema(t *testing.T) {
+	for _, gen := range []func(Size, int64) *graph.Graph{AppDaily, AppWeekly} {
+		g := gen(Quick, 1)
+		if g.NumEdgeTypes() != 2 {
+			t.Fatalf("edge types %d", g.NumEdgeTypes())
+		}
+		// Weighted edges with real spread.
+		minW, maxW := g.Edges[0].Weight, g.Edges[0].Weight
+		for _, e := range g.Edges {
+			if e.Weight < minW {
+				minW = e.Weight
+			}
+			if e.Weight > maxW {
+				maxW = e.Weight
+			}
+		}
+		if maxW <= 2*minW {
+			t.Fatalf("weights not informative: [%g, %g]", minW, maxW)
+		}
+		// Exactly 9 categories (Figure 6).
+		if g.NumLabels() != 9 {
+			t.Fatalf("labels %d want 9", g.NumLabels())
+		}
+		// Only applets labeled; not all of them.
+		labeled := g.LabeledNodes()
+		nApplets := 0
+		for _, n := range g.Nodes {
+			if g.NodeTypeNames[n.Type] == "applet" {
+				nApplets++
+			}
+		}
+		if len(labeled) == 0 || len(labeled) >= nApplets {
+			t.Fatalf("labeled %d of %d applets", len(labeled), nApplets)
+		}
+	}
+}
+
+func TestAppWeeklyLargerThanDaily(t *testing.T) {
+	d := AppDaily(Full, 1)
+	w := AppWeekly(Full, 1)
+	if w.NumEdges() <= d.NumEdges() {
+		t.Fatalf("weekly edges %d should exceed daily %d", w.NumEdges(), d.NumEdges())
+	}
+}
+
+func TestFullLargerThanQuick(t *testing.T) {
+	for _, spec := range All() {
+		q := spec.Generate(Quick, 1)
+		f := spec.Generate(Full, 1)
+		if f.NumNodes() <= q.NumNodes() {
+			t.Fatalf("%s: Full (%d nodes) not larger than Quick (%d)",
+				spec.Name, f.NumNodes(), q.NumNodes())
+		}
+	}
+}

@@ -1,0 +1,146 @@
+// Package eval implements the paper's evaluation protocols (Section IV):
+// multiclass logistic-regression node classification scored with
+// micro/macro-F1, the 40%-edge-removal link-prediction protocol scored
+// with AUC, and the silhouette score used to quantify Figure 6.
+package eval
+
+import (
+	"math"
+	"math/rand"
+
+	"transn/internal/mat"
+)
+
+// Classifier is a multinomial logistic-regression classifier trained by
+// full-batch gradient descent, standing in for the scikit-learn
+// LogisticRegression of Section IV-B1.
+type Classifier struct {
+	W *mat.Dense // numClasses × dim
+	B []float64  // numClasses
+}
+
+// ClassifierConfig controls training. Zero values take defaults.
+type ClassifierConfig struct {
+	Epochs int     // default 200
+	LR     float64 // default 0.1
+	L2     float64 // default 1e-4
+}
+
+func (c ClassifierConfig) withDefaults() ClassifierConfig {
+	if c.Epochs == 0 {
+		c.Epochs = 200
+	}
+	if c.LR == 0 {
+		c.LR = 0.1
+	}
+	if c.L2 == 0 {
+		c.L2 = 1e-4
+	}
+	return c
+}
+
+// TrainClassifier fits a softmax classifier on rows X[i] with labels
+// y[i] ∈ [0, numClasses).
+func TrainClassifier(X *mat.Dense, y []int, numClasses int, cfg ClassifierConfig) *Classifier {
+	cfg = cfg.withDefaults()
+	n, d := X.R, X.C
+	c := &Classifier{W: mat.New(numClasses, d), B: make([]float64, numClasses)}
+	if n == 0 {
+		return c
+	}
+	gradW := mat.New(numClasses, d)
+	gradB := make([]float64, numClasses)
+	probs := make([]float64, numClasses)
+	inv := 1 / float64(n)
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		gradW.Zero()
+		for k := range gradB {
+			gradB[k] = 0
+		}
+		for i := 0; i < n; i++ {
+			xi := X.Row(i)
+			c.scores(xi, probs)
+			softmaxInPlace(probs)
+			for k := 0; k < numClasses; k++ {
+				diff := probs[k]
+				if k == y[i] {
+					diff -= 1
+				}
+				gradB[k] += diff * inv
+				gw := gradW.Row(k)
+				for j := 0; j < d; j++ {
+					gw[j] += diff * xi[j] * inv
+				}
+			}
+		}
+		// L2 on weights; step.
+		for k := 0; k < numClasses; k++ {
+			wr := c.W.Row(k)
+			gw := gradW.Row(k)
+			for j := 0; j < d; j++ {
+				wr[j] -= cfg.LR * (gw[j] + cfg.L2*wr[j])
+			}
+			c.B[k] -= cfg.LR * gradB[k]
+		}
+	}
+	return c
+}
+
+// scores writes the raw class scores of x into out.
+func (c *Classifier) scores(x []float64, out []float64) {
+	for k := range out {
+		out[k] = c.B[k] + mat.Dot(c.W.Row(k), x)
+	}
+}
+
+func softmaxInPlace(v []float64) {
+	maxv := math.Inf(-1)
+	for _, x := range v {
+		if x > maxv {
+			maxv = x
+		}
+	}
+	var sum float64
+	for i, x := range v {
+		v[i] = math.Exp(x - maxv)
+		sum += v[i]
+	}
+	for i := range v {
+		v[i] /= sum
+	}
+}
+
+// Predict returns the most likely class of x.
+func (c *Classifier) Predict(x []float64) int {
+	scores := make([]float64, c.W.R)
+	c.scores(x, scores)
+	best, bestV := 0, math.Inf(-1)
+	for k, s := range scores {
+		if s > bestV {
+			best, bestV = k, s
+		}
+	}
+	return best
+}
+
+// PredictBatch predicts a class for every row of X.
+func (c *Classifier) PredictBatch(X *mat.Dense) []int {
+	out := make([]int, X.R)
+	for i := 0; i < X.R; i++ {
+		out[i] = c.Predict(X.Row(i))
+	}
+	return out
+}
+
+// TrainTestSplit shuffles indices 0..n-1 and splits them trainFrac/rest.
+func TrainTestSplit(n int, trainFrac float64, rng *rand.Rand) (train, test []int) {
+	perm := rng.Perm(n)
+	cut := int(math.Round(trainFrac * float64(n)))
+	if cut < 1 {
+		cut = 1
+	}
+	if cut >= n {
+		cut = n - 1
+	}
+	return perm[:cut], perm[cut:]
+}

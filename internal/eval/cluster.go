@@ -1,0 +1,181 @@
+package eval
+
+import (
+	"math"
+	"math/rand"
+
+	"transn/internal/mat"
+)
+
+// KMeans clusters the rows of X into k clusters with Lloyd's algorithm
+// and k-means++ seeding, returning the cluster assignment of each row.
+// It is used by the node-clustering extension task (clustering quality
+// of embeddings, scored with NMI), a standard companion evaluation in
+// the HIN-embedding literature.
+func KMeans(X *mat.Dense, k, iterations int, rng *rand.Rand) []int {
+	n := X.R
+	assign := make([]int, n)
+	if n == 0 || k <= 1 {
+		return assign
+	}
+	if k > n {
+		k = n
+	}
+	centers := kmeansppInit(X, k, rng)
+	dists := make([]float64, n)
+	counts := make([]int, k)
+	for iter := 0; iter < iterations; iter++ {
+		changed := false
+		for i := 0; i < n; i++ {
+			best, bestD := 0, math.Inf(1)
+			for c := 0; c < k; c++ {
+				d := sqDist(X.Row(i), centers.Row(c))
+				if d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+			dists[i] = bestD
+		}
+		if !changed && iter > 0 {
+			break
+		}
+		// Recompute centers; empty clusters grab the farthest point.
+		centers.Zero()
+		for c := range counts {
+			counts[c] = 0
+		}
+		for i := 0; i < n; i++ {
+			c := assign[i]
+			counts[c]++
+			row := centers.Row(c)
+			x := X.Row(i)
+			for j := range row {
+				row[j] += x[j]
+			}
+		}
+		for c := 0; c < k; c++ {
+			if counts[c] == 0 {
+				far := argmaxF(dists)
+				centers.SetRow(c, X.Row(far))
+				dists[far] = 0
+				continue
+			}
+			row := centers.Row(c)
+			inv := 1 / float64(counts[c])
+			for j := range row {
+				row[j] *= inv
+			}
+		}
+	}
+	return assign
+}
+
+func kmeansppInit(X *mat.Dense, k int, rng *rand.Rand) *mat.Dense {
+	n := X.R
+	centers := mat.New(k, X.C)
+	first := rng.Intn(n)
+	centers.SetRow(0, X.Row(first))
+	minD := make([]float64, n)
+	for i := range minD {
+		minD[i] = sqDist(X.Row(i), centers.Row(0))
+	}
+	for c := 1; c < k; c++ {
+		var total float64
+		for _, d := range minD {
+			total += d
+		}
+		idx := n - 1
+		if total > 0 {
+			x := rng.Float64() * total
+			for i, d := range minD {
+				x -= d
+				if x <= 0 {
+					idx = i
+					break
+				}
+			}
+		} else {
+			idx = rng.Intn(n)
+		}
+		centers.SetRow(c, X.Row(idx))
+		for i := range minD {
+			if d := sqDist(X.Row(i), centers.Row(c)); d < minD[i] {
+				minD[i] = d
+			}
+		}
+	}
+	return centers
+}
+
+func sqDist(x, y []float64) float64 {
+	var s float64
+	for i := range x {
+		d := x[i] - y[i]
+		s += d * d
+	}
+	return s
+}
+
+func argmaxF(xs []float64) int {
+	best, bestV := 0, math.Inf(-1)
+	for i, v := range xs {
+		if v > bestV {
+			best, bestV = i, v
+		}
+	}
+	return best
+}
+
+// NMI computes the normalized mutual information between two labelings
+// (arithmetic-mean normalization): 2·I(a;b)/(H(a)+H(b)). It returns 1
+// for identical partitions (up to relabeling) and 0 for independent
+// ones; degenerate single-cluster inputs yield 0.
+func NMI(a, b []int) float64 {
+	n := len(a)
+	if n == 0 || n != len(b) {
+		return 0
+	}
+	joint := map[[2]int]float64{}
+	ca := map[int]float64{}
+	cb := map[int]float64{}
+	for i := range a {
+		joint[[2]int{a[i], b[i]}]++
+		ca[a[i]]++
+		cb[b[i]]++
+	}
+	fn := float64(n)
+	var mi float64
+	for key, nij := range joint {
+		pij := nij / fn
+		pa := ca[key[0]] / fn
+		pb := cb[key[1]] / fn
+		mi += pij * math.Log(pij/(pa*pb))
+	}
+	ha := entropy(ca, fn)
+	hb := entropy(cb, fn)
+	if ha == 0 || hb == 0 {
+		return 0
+	}
+	return 2 * mi / (ha + hb)
+}
+
+func entropy(counts map[int]float64, n float64) float64 {
+	var h float64
+	for _, c := range counts {
+		p := c / n
+		h -= p * math.Log(p)
+	}
+	return h
+}
+
+// NodeClustering runs the extension task: k-means over the embeddings of
+// labeled nodes (k = number of classes) scored by NMI against the true
+// labels.
+func NodeClustering(emb *mat.Dense, labels []int, numClasses int, rng *rand.Rand) float64 {
+	assign := KMeans(emb, numClasses, 50, rng)
+	return NMI(labels, assign)
+}

@@ -1,0 +1,112 @@
+package eval
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"transn/internal/mat"
+)
+
+func gaussBlobs(rng *rand.Rand, perCluster, k, dim int, sep float64) (*mat.Dense, []int) {
+	X := mat.New(perCluster*k, dim)
+	labels := make([]int, X.R)
+	for c := 0; c < k; c++ {
+		for i := 0; i < perCluster; i++ {
+			r := c*perCluster + i
+			labels[r] = c
+			row := X.Row(r)
+			for j := range row {
+				row[j] = rng.NormFloat64() * 0.4
+			}
+			row[c%dim] += sep
+		}
+	}
+	return X, labels
+}
+
+func TestKMeansRecoversBlobs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	X, labels := gaussBlobs(rng, 20, 3, 4, 6)
+	assign := KMeans(X, 3, 50, rng)
+	if nmi := NMI(labels, assign); nmi < 0.9 {
+		t.Fatalf("k-means NMI %.3f on well-separated blobs", nmi)
+	}
+}
+
+func TestKMeansDegenerateInputs(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	if got := KMeans(mat.New(0, 3), 2, 10, rng); len(got) != 0 {
+		t.Fatal("empty input should give empty assignment")
+	}
+	// k > n collapses to n clusters without panicking.
+	X := mat.RandN(3, 2, 1, rng)
+	assign := KMeans(X, 10, 10, rng)
+	if len(assign) != 3 {
+		t.Fatal("assignment length mismatch")
+	}
+	// k <= 1 assigns everything to cluster 0.
+	for _, a := range KMeans(X, 1, 10, rng) {
+		if a != 0 {
+			t.Fatal("k=1 must assign all to cluster 0")
+		}
+	}
+}
+
+func TestNMIKnownValues(t *testing.T) {
+	// Identical partitions → 1.
+	a := []int{0, 0, 1, 1, 2, 2}
+	if got := NMI(a, a); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("NMI(a,a) = %v", got)
+	}
+	// Relabeled partition → still 1.
+	b := []int{5, 5, 9, 9, 7, 7}
+	if got := NMI(a, b); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("NMI under relabeling = %v", got)
+	}
+	// Single cluster on one side → 0.
+	if got := NMI(a, []int{0, 0, 0, 0, 0, 0}); got != 0 {
+		t.Fatalf("degenerate NMI = %v", got)
+	}
+	// Empty / mismatched → 0.
+	if NMI(nil, nil) != 0 || NMI([]int{1}, []int{1, 2}) != 0 {
+		t.Fatal("bad-input NMI should be 0")
+	}
+}
+
+// Property: NMI is symmetric and within [0, 1] (up to float error).
+func TestNMIProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(40)
+		a := make([]int, n)
+		b := make([]int, n)
+		for i := range a {
+			a[i] = rng.Intn(4)
+			b[i] = rng.Intn(3)
+		}
+		x := NMI(a, b)
+		y := NMI(b, a)
+		if math.Abs(x-y) > 1e-12 {
+			return false
+		}
+		return x >= -1e-12 && x <= 1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNodeClusteringOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	X, labels := gaussBlobs(rng, 15, 4, 6, 8)
+	if nmi := NodeClustering(X, labels, 4, rng); nmi < 0.9 {
+		t.Fatalf("oracle clustering NMI = %.3f", nmi)
+	}
+	// Random embeddings → low NMI.
+	R := mat.RandN(X.R, 6, 1, rng)
+	if nmi := NodeClustering(R, labels, 4, rng); nmi > 0.4 {
+		t.Fatalf("random clustering NMI suspiciously high: %.3f", nmi)
+	}
+}

@@ -1,0 +1,376 @@
+package eval
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"transn/internal/graph"
+	"transn/internal/mat"
+)
+
+func TestMicroF1PerfectAndWorst(t *testing.T) {
+	if got := MicroF1([]int{0, 1, 2}, []int{0, 1, 2}); got != 1 {
+		t.Fatalf("perfect micro-F1 = %v", got)
+	}
+	if got := MicroF1([]int{0, 0, 0}, []int{1, 1, 1}); got != 0 {
+		t.Fatalf("worst micro-F1 = %v", got)
+	}
+	if got := MicroF1(nil, nil); got != 0 {
+		t.Fatalf("empty micro-F1 = %v", got)
+	}
+}
+
+func TestMicroF1EqualsAccuracy(t *testing.T) {
+	yt := []int{0, 1, 1, 2, 2, 2}
+	yp := []int{0, 1, 0, 2, 1, 2}
+	// 4/6 correct.
+	if got := MicroF1(yt, yp); math.Abs(got-4.0/6) > 1e-12 {
+		t.Fatalf("micro-F1 = %v want %v", got, 4.0/6)
+	}
+}
+
+func TestMacroF1Known(t *testing.T) {
+	// Class 0: tp=1 fp=1 fn=0 → F1 = 2/3; class 1: tp=1 fp=0 fn=1 → 2/3.
+	yt := []int{0, 1, 1}
+	yp := []int{0, 1, 0}
+	want := (2.0/3 + 2.0/3) / 2
+	if got := MacroF1(yt, yp, 2); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("macro-F1 = %v want %v", got, want)
+	}
+}
+
+func TestMacroF1AbsentClassIgnored(t *testing.T) {
+	yt := []int{0, 0}
+	yp := []int{0, 0}
+	// Class 1 never appears in truth or prediction → averaged over the
+	// present class only (the scikit-learn default label set).
+	if got := MacroF1(yt, yp, 2); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("macro-F1 = %v want 1", got)
+	}
+	// A predicted-but-never-true class IS counted (with F1 = 0).
+	yt2 := []int{0, 0}
+	yp2 := []int{0, 1}
+	// class0: tp=1 fp=0 fn=1 → 2/3; class1: tp=0 fp=1 fn=0 → 0.
+	if got := MacroF1(yt2, yp2, 2); math.Abs(got-1.0/3) > 1e-12 {
+		t.Fatalf("macro-F1 = %v want 1/3", got)
+	}
+}
+
+func TestAUCKnownValues(t *testing.T) {
+	// Perfect separation.
+	if got := AUC([]float64{0.1, 0.2, 0.8, 0.9}, []bool{false, false, true, true}); got != 1 {
+		t.Fatalf("perfect AUC = %v", got)
+	}
+	// Inverted.
+	if got := AUC([]float64{0.9, 0.8, 0.2, 0.1}, []bool{false, false, true, true}); got != 0 {
+		t.Fatalf("inverted AUC = %v", got)
+	}
+	// All tied → 0.5.
+	if got := AUC([]float64{0.5, 0.5, 0.5, 0.5}, []bool{false, true, false, true}); got != 0.5 {
+		t.Fatalf("tied AUC = %v", got)
+	}
+	// Single class → 0 by convention.
+	if got := AUC([]float64{0.5, 0.7}, []bool{true, true}); got != 0 {
+		t.Fatalf("degenerate AUC = %v", got)
+	}
+}
+
+// Property: AUC is invariant under strictly monotone score transforms.
+func TestAUCMonotoneInvariance(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(40)
+		scores := make([]float64, n)
+		labels := make([]bool, n)
+		hasPos, hasNeg := false, false
+		for i := range scores {
+			scores[i] = rng.NormFloat64()
+			labels[i] = rng.Intn(2) == 0
+			if labels[i] {
+				hasPos = true
+			} else {
+				hasNeg = true
+			}
+		}
+		if !hasPos || !hasNeg {
+			return true
+		}
+		a := AUC(scores, labels)
+		transformed := make([]float64, n)
+		for i, s := range scores {
+			transformed[i] = math.Exp(s/2) + 7
+		}
+		b := AUC(transformed, labels)
+		return math.Abs(a-b) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClassifierSeparatesLinearlySeparable(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := 200
+	X := mat.New(n, 2)
+	y := make([]int, n)
+	for i := 0; i < n; i++ {
+		c := i % 2
+		y[i] = c
+		X.Set(i, 0, float64(c)*4-2+rng.NormFloat64()*0.5)
+		X.Set(i, 1, rng.NormFloat64())
+	}
+	clf := TrainClassifier(X, y, 2, ClassifierConfig{})
+	pred := clf.PredictBatch(X)
+	if acc := MicroF1(y, pred); acc < 0.95 {
+		t.Fatalf("training accuracy %.3f too low", acc)
+	}
+}
+
+func TestClassifierThreeClasses(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := 300
+	X := mat.New(n, 2)
+	y := make([]int, n)
+	centers := [][2]float64{{0, 3}, {-3, -2}, {3, -2}}
+	for i := 0; i < n; i++ {
+		c := i % 3
+		y[i] = c
+		X.Set(i, 0, centers[c][0]+rng.NormFloat64()*0.6)
+		X.Set(i, 1, centers[c][1]+rng.NormFloat64()*0.6)
+	}
+	clf := TrainClassifier(X, y, 3, ClassifierConfig{})
+	pred := clf.PredictBatch(X)
+	if acc := MicroF1(y, pred); acc < 0.95 {
+		t.Fatalf("3-class accuracy %.3f too low", acc)
+	}
+	if m := MacroF1(y, pred, 3); m < 0.95 {
+		t.Fatalf("3-class macro-F1 %.3f too low", m)
+	}
+}
+
+func TestClassifierEmptyInput(t *testing.T) {
+	clf := TrainClassifier(mat.New(0, 3), nil, 2, ClassifierConfig{})
+	if clf.Predict([]float64{1, 2, 3}) < 0 {
+		t.Fatal("predict on empty-trained classifier must not panic")
+	}
+}
+
+func TestTrainTestSplit(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	tr, te := TrainTestSplit(100, 0.9, rng)
+	if len(tr) != 90 || len(te) != 10 {
+		t.Fatalf("split sizes %d/%d", len(tr), len(te))
+	}
+	seen := map[int]bool{}
+	for _, i := range append(append([]int{}, tr...), te...) {
+		if seen[i] {
+			t.Fatal("duplicate index in split")
+		}
+		seen[i] = true
+	}
+	// Extremes stay non-degenerate.
+	tr2, te2 := TrainTestSplit(5, 0.999, rng)
+	if len(tr2) == 5 || len(te2) == 0 {
+		t.Fatal("split must leave at least one test example")
+	}
+}
+
+func TestSilhouetteSeparatedVsMixed(t *testing.T) {
+	// Two tight, well-separated clusters → silhouette near 1.
+	X := mat.New(8, 2)
+	labels := make([]int, 8)
+	for i := 0; i < 4; i++ {
+		X.Set(i, 0, 0.01*float64(i))
+		labels[i] = 0
+	}
+	for i := 4; i < 8; i++ {
+		X.Set(i, 0, 10+0.01*float64(i))
+		labels[i] = 1
+	}
+	if got := Silhouette(X, labels); got < 0.9 {
+		t.Fatalf("separated silhouette = %v", got)
+	}
+	// Random labels on the same points → much lower.
+	mixed := []int{0, 1, 0, 1, 0, 1, 0, 1}
+	if got := Silhouette(X, mixed); got > 0.1 {
+		t.Fatalf("mixed silhouette = %v", got)
+	}
+	// Single cluster → 0.
+	if got := Silhouette(X, make([]int, 8)); got != 0 {
+		t.Fatalf("single-cluster silhouette = %v", got)
+	}
+}
+
+// lpGraph builds a labeled two-community homo+heter network for protocol
+// tests.
+func lpGraph(t testing.TB, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder()
+	user := b.NodeType("user")
+	kw := b.NodeType("kw")
+	uu := b.EdgeType("UU")
+	uk := b.EdgeType("UK")
+	var us, ks []graph.NodeID
+	for i := 0; i < 30; i++ {
+		id := b.AddNode(user, "")
+		b.SetLabel(id, i%3)
+		us = append(us, id)
+	}
+	for i := 0; i < 10; i++ {
+		ks = append(ks, b.AddNode(kw, ""))
+	}
+	seen := map[[2]graph.NodeID]bool{}
+	add := func(u, v graph.NodeID, et graph.EdgeType) {
+		if u > v {
+			u, v = v, u
+		}
+		k := [2]graph.NodeID{u, v}
+		if u == v || seen[k] {
+			return
+		}
+		seen[k] = true
+		b.AddEdge(u, v, et, 1)
+	}
+	for i := 0; i < 30; i++ {
+		add(us[i], us[(i+1)%30], uu)
+		add(us[i], us[(i+3)%30], uu)
+		add(us[i], ks[rng.Intn(10)], uk)
+		add(us[i], ks[rng.Intn(10)], uk)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestLinkPredictionSplit(t *testing.T) {
+	g := lpGraph(t, 4)
+	rng := rand.New(rand.NewSource(5))
+	sub, pos, neg, err := LinkPredictionSplit(g, 0.4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRemoved := int(0.4 * float64(g.NumEdges()))
+	if len(pos) != wantRemoved {
+		t.Fatalf("removed %d want %d", len(pos), wantRemoved)
+	}
+	if len(neg) != len(pos) {
+		t.Fatalf("negatives %d want %d", len(neg), len(pos))
+	}
+	if sub.NumEdges() != g.NumEdges()-wantRemoved {
+		t.Fatalf("surviving edges %d", sub.NumEdges())
+	}
+	if sub.NumNodes() != g.NumNodes() {
+		t.Fatal("split must keep all nodes")
+	}
+	// Negatives must be nonadjacent in the original graph.
+	adj := map[NodePair]bool{}
+	for _, e := range g.Edges {
+		adj[orient(e.U, e.V)] = true
+	}
+	for _, p := range neg {
+		if adj[p] {
+			t.Fatal("negative pair is an original edge")
+		}
+	}
+}
+
+func TestLinkPredictionSplitRejectsExtremes(t *testing.T) {
+	g := lpGraph(t, 6)
+	rng := rand.New(rand.NewSource(7))
+	if _, _, _, err := LinkPredictionSplit(g, 0, rng); err == nil {
+		t.Fatal("expected error for 0 removal")
+	}
+	if _, _, _, err := LinkPredictionSplit(g, 1, rng); err == nil {
+		t.Fatal("expected error for full removal")
+	}
+}
+
+func TestLinkPredictionAUCWithOracleEmbeddings(t *testing.T) {
+	// Embeddings where adjacent nodes share direction should give high
+	// AUC: put all nodes of the same community on the same axis.
+	g := lpGraph(t, 8)
+	rng := rand.New(rand.NewSource(9))
+	_, pos, neg, err := LinkPredictionSplit(g, 0.3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Oracle: embedding = indicator of adjacency via shared coordinate.
+	emb := mat.New(g.NumNodes(), g.NumNodes())
+	for _, e := range g.Edges {
+		emb.Set(int(e.U), int(e.V), 1)
+		emb.Set(int(e.V), int(e.U), 1)
+		emb.Set(int(e.U), int(e.U), 1)
+		emb.Set(int(e.V), int(e.V), 1)
+	}
+	auc := LinkPredictionAUC(emb, pos, neg)
+	if auc < 0.9 {
+		t.Fatalf("oracle AUC = %v", auc)
+	}
+}
+
+func TestNodeClassificationProtocol(t *testing.T) {
+	g := lpGraph(t, 10)
+	rng := rand.New(rand.NewSource(11))
+	// Oracle embedding: one-hot label (plus noise) → near-perfect F1.
+	emb := mat.New(g.NumNodes(), 4)
+	for _, id := range g.LabeledNodes() {
+		emb.Set(int(id), g.Label(id), 1)
+		emb.Set(int(id), 3, rng.NormFloat64()*0.01)
+	}
+	macro, micro, err := NodeClassification(emb, g, 0.9, 3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if macro < 0.9 || micro < 0.9 {
+		t.Fatalf("oracle classification macro=%.3f micro=%.3f", macro, micro)
+	}
+	// Random embedding → near chance (1/3 classes).
+	randEmb := mat.RandN(g.NumNodes(), 4, 1, rng)
+	_, microR, err := NodeClassification(randEmb, g, 0.9, 5, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if microR > 0.85 {
+		t.Fatalf("random embedding micro-F1 suspiciously high: %.3f", microR)
+	}
+}
+
+func TestNodeClassificationTooFewLabels(t *testing.T) {
+	b := graph.NewBuilder()
+	tt := b.NodeType("x")
+	et := b.EdgeType("e")
+	n1 := b.AddNode(tt, "")
+	n2 := b.AddNode(tt, "")
+	b.AddEdge(n1, n2, et, 1)
+	b.SetLabel(n1, 0)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(12))
+	if _, _, err := NodeClassification(mat.New(2, 2), g, 0.9, 1, rng); err == nil {
+		t.Fatal("expected too-few-labels error")
+	}
+}
+
+// Property: silhouette is always within [-1, 1].
+func TestSilhouetteBoundsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(20)
+		X := mat.RandN(n, 3, 1, rng)
+		labels := make([]int, n)
+		for i := range labels {
+			labels[i] = rng.Intn(3)
+		}
+		s := Silhouette(X, labels)
+		return s >= -1-1e-9 && s <= 1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,170 @@
+package eval
+
+import (
+	"math"
+	"sort"
+
+	"transn/internal/mat"
+)
+
+// MicroF1 computes the micro-averaged F1 score: with single-label
+// multiclass predictions this equals global accuracy.
+func MicroF1(yTrue, yPred []int) float64 {
+	if len(yTrue) == 0 {
+		return 0
+	}
+	var tp, fp, fn float64
+	for i := range yTrue {
+		if yTrue[i] == yPred[i] {
+			tp++
+		} else {
+			fp++
+			fn++
+		}
+	}
+	if tp == 0 {
+		return 0
+	}
+	p := tp / (tp + fp)
+	r := tp / (tp + fn)
+	return 2 * p * r / (p + r)
+}
+
+// MacroF1 computes the unweighted mean of per-class F1 scores over the
+// classes present in yTrue ∪ yPred (scikit-learn's default label set);
+// numClasses bounds the class indices. A present class with zero F1
+// contributes 0.
+func MacroF1(yTrue, yPred []int, numClasses int) float64 {
+	if numClasses == 0 {
+		return 0
+	}
+	tp := make([]float64, numClasses)
+	fp := make([]float64, numClasses)
+	fn := make([]float64, numClasses)
+	present := make([]bool, numClasses)
+	for i := range yTrue {
+		present[yTrue[i]] = true
+		present[yPred[i]] = true
+		if yTrue[i] == yPred[i] {
+			tp[yTrue[i]]++
+		} else {
+			fp[yPred[i]]++
+			fn[yTrue[i]]++
+		}
+	}
+	var sum float64
+	var nPresent int
+	for k := 0; k < numClasses; k++ {
+		if !present[k] {
+			continue
+		}
+		nPresent++
+		denom := 2*tp[k] + fp[k] + fn[k]
+		if denom > 0 {
+			sum += 2 * tp[k] / denom
+		}
+	}
+	if nPresent == 0 {
+		return 0
+	}
+	return sum / float64(nPresent)
+}
+
+// AUC computes the area under the ROC curve from scores and binary
+// labels using the rank-sum (Mann–Whitney) formulation, with tie
+// midranks.
+func AUC(scores []float64, labels []bool) float64 {
+	n := len(scores)
+	if n == 0 || n != len(labels) {
+		return 0
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return scores[idx[a]] < scores[idx[b]] })
+	ranks := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && scores[idx[j+1]] == scores[idx[i]] {
+			j++
+		}
+		mid := float64(i+j)/2 + 1 // 1-based midrank
+		for k := i; k <= j; k++ {
+			ranks[idx[k]] = mid
+		}
+		i = j + 1
+	}
+	var posRankSum float64
+	var nPos, nNeg float64
+	for i := range labels {
+		if labels[i] {
+			posRankSum += ranks[i]
+			nPos++
+		} else {
+			nNeg++
+		}
+	}
+	if nPos == 0 || nNeg == 0 {
+		return 0
+	}
+	return (posRankSum - nPos*(nPos+1)/2) / (nPos * nNeg)
+}
+
+// Silhouette computes the mean silhouette coefficient of rows of X under
+// the given cluster labels, using Euclidean distance. Clusters of size 1
+// contribute 0 (the scikit-learn convention).
+func Silhouette(X *mat.Dense, labels []int) float64 {
+	n := X.R
+	if n == 0 || n != len(labels) {
+		return 0
+	}
+	clusterOf := labels
+	sizes := map[int]int{}
+	for _, c := range clusterOf {
+		sizes[c]++
+	}
+	if len(sizes) < 2 {
+		return 0
+	}
+	var total float64
+	for i := 0; i < n; i++ {
+		// Mean distance to each cluster.
+		sumDist := map[int]float64{}
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			d := euclidean(X.Row(i), X.Row(j))
+			sumDist[clusterOf[j]] += d
+		}
+		own := clusterOf[i]
+		if sizes[own] <= 1 {
+			continue // silhouette of singleton is 0
+		}
+		a := sumDist[own] / float64(sizes[own]-1)
+		b := math.Inf(1)
+		for c, s := range sumDist {
+			if c == own {
+				continue
+			}
+			if m := s / float64(sizes[c]); m < b {
+				b = m
+			}
+		}
+		denom := math.Max(a, b)
+		if denom > 0 {
+			total += (b - a) / denom
+		}
+	}
+	return total / float64(n)
+}
+
+func euclidean(x, y []float64) float64 {
+	var s float64
+	for i := range x {
+		d := x[i] - y[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}

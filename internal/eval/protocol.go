@@ -1,0 +1,151 @@
+package eval
+
+import (
+	"fmt"
+	"math/rand"
+
+	"transn/internal/graph"
+	"transn/internal/mat"
+)
+
+// NodeClassification runs the paper's Table III protocol: embed → take
+// labeled nodes → 90/10 split → logistic regression → macro/micro-F1,
+// repeated reps times with fresh splits, averaged.
+func NodeClassification(emb *mat.Dense, g *graph.Graph, trainFrac float64, reps int, rng *rand.Rand) (macroF1, microF1 float64, err error) {
+	labeled := g.LabeledNodes()
+	if len(labeled) < 4 {
+		return 0, 0, fmt.Errorf("eval: only %d labeled nodes", len(labeled))
+	}
+	numClasses := g.NumLabels()
+	X := mat.New(len(labeled), emb.C)
+	y := make([]int, len(labeled))
+	for i, id := range labeled {
+		X.SetRow(i, emb.Row(int(id)))
+		y[i] = g.Label(id)
+	}
+	var sumMacro, sumMicro float64
+	for r := 0; r < reps; r++ {
+		trainIdx, testIdx := TrainTestSplit(len(labeled), trainFrac, rng)
+		Xtr := mat.New(len(trainIdx), X.C)
+		ytr := make([]int, len(trainIdx))
+		for i, k := range trainIdx {
+			Xtr.SetRow(i, X.Row(k))
+			ytr[i] = y[k]
+		}
+		clf := TrainClassifier(Xtr, ytr, numClasses, ClassifierConfig{})
+		yPred := make([]int, len(testIdx))
+		yTrue := make([]int, len(testIdx))
+		for i, k := range testIdx {
+			yPred[i] = clf.Predict(X.Row(k))
+			yTrue[i] = y[k]
+		}
+		sumMacro += MacroF1(yTrue, yPred, numClasses)
+		sumMicro += MicroF1(yTrue, yPred)
+	}
+	return sumMacro / float64(reps), sumMicro / float64(reps), nil
+}
+
+// NodePair is an unordered node pair used by the link-prediction
+// protocol.
+type NodePair struct {
+	U, V graph.NodeID
+}
+
+// LinkPredictionSplit implements the Table IV protocol setup: it removes
+// removeFrac of the edges uniformly at random (these become positive
+// test examples) and samples an equal number of nonadjacent node pairs
+// (negative examples). The returned graph contains the surviving edges.
+//
+// Removal is per-edge across the whole network, matching the paper
+// ("randomly remove 40% edges from each experimental network"). Nodes
+// that lose all their edges simply end up in no view.
+func LinkPredictionSplit(g *graph.Graph, removeFrac float64, rng *rand.Rand) (*graph.Graph, []NodePair, []NodePair, error) {
+	nE := g.NumEdges()
+	nRemove := int(removeFrac * float64(nE))
+	if nRemove < 1 || nRemove >= nE {
+		return nil, nil, nil, fmt.Errorf("eval: cannot remove %d of %d edges", nRemove, nE)
+	}
+	perm := rng.Perm(nE)
+	removed := map[int]bool{}
+	for _, i := range perm[:nRemove] {
+		removed[i] = true
+	}
+
+	// Rebuild the graph with the surviving edges.
+	b := graph.NewBuilder()
+	for _, name := range g.NodeTypeNames {
+		b.NodeType(name)
+	}
+	for _, name := range g.EdgeTypeNames {
+		b.EdgeType(name)
+	}
+	for _, n := range g.Nodes {
+		id := b.AddNode(n.Type, n.Name)
+		if n.Label != graph.NoLabel {
+			b.SetLabel(id, n.Label)
+		}
+	}
+	var pos []NodePair
+	adj := make(map[NodePair]bool, nE)
+	for i, e := range g.Edges {
+		p := orient(e.U, e.V)
+		adj[p] = true
+		if removed[i] {
+			pos = append(pos, p)
+			continue
+		}
+		b.AddEdge(e.U, e.V, e.Type, e.Weight)
+	}
+	sub, err := b.Build()
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("eval: rebuilding split graph: %w", err)
+	}
+
+	// Negative pairs: nonadjacent in the ORIGINAL graph.
+	neg := make([]NodePair, 0, len(pos))
+	n := g.NumNodes()
+	negSeen := map[NodePair]bool{}
+	budget := len(pos) * 100
+	for len(neg) < len(pos) && budget > 0 {
+		budget--
+		u := graph.NodeID(rng.Intn(n))
+		v := graph.NodeID(rng.Intn(n))
+		if u == v {
+			continue
+		}
+		p := orient(u, v)
+		if adj[p] || negSeen[p] {
+			continue
+		}
+		negSeen[p] = true
+		neg = append(neg, p)
+	}
+	if len(neg) < len(pos) {
+		return nil, nil, nil, fmt.Errorf("eval: could not sample %d negatives", len(pos))
+	}
+	return sub, pos, neg, nil
+}
+
+func orient(u, v graph.NodeID) NodePair {
+	if u > v {
+		u, v = v, u
+	}
+	return NodePair{U: u, V: v}
+}
+
+// LinkPredictionAUC scores pairs by the inner product of their
+// embeddings (the paper's likelihood model) and returns the AUC of
+// positives vs negatives.
+func LinkPredictionAUC(emb *mat.Dense, pos, neg []NodePair) float64 {
+	scores := make([]float64, 0, len(pos)+len(neg))
+	labels := make([]bool, 0, len(pos)+len(neg))
+	for _, p := range pos {
+		scores = append(scores, mat.Dot(emb.Row(int(p.U)), emb.Row(int(p.V))))
+		labels = append(labels, true)
+	}
+	for _, p := range neg {
+		scores = append(scores, mat.Dot(emb.Row(int(p.U)), emb.Row(int(p.V))))
+		labels = append(labels, false)
+	}
+	return AUC(scores, labels)
+}

@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"transn/internal/mat"
+)
+
+// RenderScatter draws 2D points as an ASCII scatter plot, labeling each
+// point with its category digit (categories ≥ 10 wrap to letters). It is
+// used by cmd/benchrun to make Figure 6 inspectable in a terminal.
+func RenderScatter(w io.Writer, title string, points *mat.Dense, labels []int, width, height int) {
+	if points.R == 0 || points.C < 2 {
+		return
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for i := 0; i < points.R; i++ {
+		x, y := points.At(i, 0), points.At(i, 1)
+		minX, maxX = math.Min(minX, x), math.Max(maxX, x)
+		minY, maxY = math.Min(minY, y), math.Max(maxY, y)
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = make([]byte, width)
+		for c := range grid[r] {
+			grid[r][c] = ' '
+		}
+	}
+	glyph := func(label int) byte {
+		if label < 10 {
+			return byte('0' + label)
+		}
+		return byte('a' + (label-10)%26)
+	}
+	for i := 0; i < points.R; i++ {
+		cx := int(float64(width-1) * (points.At(i, 0) - minX) / (maxX - minX))
+		cy := int(float64(height-1) * (points.At(i, 1) - minY) / (maxY - minY))
+		// Flip y so larger values render higher.
+		grid[height-1-cy][cx] = glyph(labels[i])
+	}
+	fmt.Fprintf(w, "  %s\n", title)
+	fmt.Fprintf(w, "  +%s+\n", dashes(width))
+	for _, row := range grid {
+		fmt.Fprintf(w, "  |%s|\n", string(row))
+	}
+	fmt.Fprintf(w, "  +%s+\n", dashes(width))
+}
+
+func dashes(n int) string {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = '-'
+	}
+	return string(b)
+}

@@ -1,0 +1,195 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"transn/internal/dataset"
+	"transn/internal/mat"
+)
+
+func tinyOpts() Options {
+	return Options{Size: dataset.Quick, Dim: 16, Seed: 1, Reps: 2}
+}
+
+func TestTable2PrintsAllDatasets(t *testing.T) {
+	var buf bytes.Buffer
+	stats := Table2(&buf, tinyOpts())
+	if len(stats) != 4 {
+		t.Fatalf("stats for %d datasets", len(stats))
+	}
+	out := buf.String()
+	for _, name := range []string{"AMiner", "BLOG", "App-Daily", "App-Weekly"} {
+		if !strings.Contains(out, name) {
+			t.Fatalf("missing %s in output:\n%s", name, out)
+		}
+	}
+}
+
+func TestMethodsRosterOrder(t *testing.T) {
+	ms := Methods("AMiner", dataset.Quick)
+	want := []string{"LINE", "Node2Vec", "Metapath2Vec", "HIN2VEC", "MVE", "R-GCN", "SimplE", "TransN"}
+	if len(ms) != len(want) {
+		t.Fatalf("roster size %d want %d", len(ms), len(want))
+	}
+	for i, m := range ms {
+		if m.Name() != want[i] {
+			t.Fatalf("roster[%d] = %s want %s", i, m.Name(), want[i])
+		}
+	}
+}
+
+func TestAblationRosterOrder(t *testing.T) {
+	ms := AblationMethods(dataset.Quick)
+	want := []string{
+		"TransN-Without-Cross-View",
+		"TransN-With-Simple-Walk",
+		"TransN-With-Simple-Translator",
+		"TransN-Without-Translation-Tasks",
+		"TransN-Without-Reconstruction-Tasks",
+		"TransN",
+	}
+	if len(ms) != len(want) {
+		t.Fatalf("roster size %d", len(ms))
+	}
+	for i, m := range ms {
+		if m.Name() != want[i] {
+			t.Fatalf("roster[%d] = %s want %s", i, m.Name(), want[i])
+		}
+	}
+}
+
+func TestMetaPatternsResolve(t *testing.T) {
+	for _, spec := range dataset.All() {
+		g := spec.Generate(dataset.Quick, 1)
+		p := metaPattern(spec.Name)
+		if p == nil {
+			t.Fatalf("%s: no meta pattern", spec.Name)
+		}
+		for _, name := range p {
+			found := false
+			for _, tn := range g.NodeTypeNames {
+				if tn == name {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("%s: pattern type %q not in graph (%v)", spec.Name, name, g.NodeTypeNames)
+			}
+		}
+	}
+}
+
+// TestClassifyRowSingleMethod smoke-tests the Table III pipeline on one
+// dataset × one cheap method; the full table is exercised by the
+// benchmark suite.
+func TestClassifyRowSingleMethod(t *testing.T) {
+	g := dataset.AMiner(dataset.Quick, 1)
+	m := Methods("AMiner", dataset.Quick)[0] // LINE
+	row, err := classifyRow(g, "AMiner", m, tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Metrics["Micro-F1"] <= 0 || row.Metrics["Micro-F1"] > 1 {
+		t.Fatalf("Micro-F1 out of range: %v", row.Metrics)
+	}
+	if row.Method != "LINE" || row.Dataset != "AMiner" {
+		t.Fatalf("row identity %+v", row)
+	}
+}
+
+func TestTransNMethodAdapter(t *testing.T) {
+	g := dataset.AMiner(dataset.Quick, 1)
+	m := TransNMethod{Cfg: transnConfig(dataset.Quick)}
+	emb, err := m.Embed(g, 16, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if emb.R != g.NumNodes() || emb.C != 16 {
+		t.Fatalf("shape %dx%d", emb.R, emb.C)
+	}
+	if m.Name() != "TransN" {
+		t.Fatalf("name %q", m.Name())
+	}
+	named := TransNMethod{Label: "X"}
+	if named.Name() != "X" {
+		t.Fatal("label override broken")
+	}
+}
+
+func TestPrintRowsFormatting(t *testing.T) {
+	rows := []Row{
+		{Dataset: "D1", Method: "M1", Metrics: map[string]float64{"A": 0.5}},
+		{Dataset: "D2", Method: "M2", Metrics: map[string]float64{"A": 0.25}},
+	}
+	var buf bytes.Buffer
+	PrintRows(&buf, rows, []string{"A"})
+	out := buf.String()
+	if !strings.Contains(out, "0.5000") || !strings.Contains(out, "0.2500") {
+		t.Fatalf("bad formatting:\n%s", out)
+	}
+}
+
+func TestSortRowsByDataset(t *testing.T) {
+	rows := []Row{
+		{Dataset: "B", Method: "m1"},
+		{Dataset: "A", Method: "m1"},
+		{Dataset: "B", Method: "m2"},
+		{Dataset: "A", Method: "m2"},
+	}
+	SortRowsByDataset(rows, []string{"A", "B"})
+	if rows[0].Dataset != "A" || rows[1].Dataset != "A" || rows[2].Dataset != "B" {
+		t.Fatalf("sorted order %+v", rows)
+	}
+	// Stability: m1 before m2 within each dataset.
+	if rows[0].Method != "m1" || rows[2].Method != "m1" {
+		t.Fatalf("stability broken %+v", rows)
+	}
+}
+
+func TestFigure6Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure 6 pipeline is slow for -short")
+	}
+	var buf bytes.Buffer
+	opts := tinyOpts()
+	results, err := Figure6(&buf, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("results for %d methods", len(results))
+	}
+	for _, r := range results {
+		if r.Points.R == 0 || r.Points.C != 2 {
+			t.Fatalf("%s: bad projection %dx%d", r.Method, r.Points.R, r.Points.C)
+		}
+		if len(r.Labels) != r.Points.R {
+			t.Fatalf("%s: labels/points mismatch", r.Method)
+		}
+	}
+	var tsv bytes.Buffer
+	WriteFigure6Points(&tsv, results)
+	lines := strings.Split(strings.TrimSpace(tsv.String()), "\n")
+	wantLines := 1 + results[0].Points.R*3
+	if len(lines) != wantLines {
+		t.Fatalf("TSV has %d lines want %d", len(lines), wantLines)
+	}
+}
+
+func TestRenderScatter(t *testing.T) {
+	pts := mat.FromSlice(4, 2, []float64{0, 0, 1, 1, -1, 1, 0.5, -0.5})
+	labels := []int{0, 1, 2, 11}
+	var buf bytes.Buffer
+	RenderScatter(&buf, "demo", pts, labels, 20, 8)
+	out := buf.String()
+	for _, glyph := range []string{"0", "1", "2", "b"} {
+		if !strings.Contains(out, glyph) {
+			t.Fatalf("glyph %q missing from plot:\n%s", glyph, out)
+		}
+	}
+	// Degenerate inputs must not panic.
+	RenderScatter(&buf, "empty", mat.New(0, 2), nil, 10, 4)
+	RenderScatter(&buf, "single", mat.FromSlice(1, 2, []float64{3, 3}), []int{0}, 10, 4)
+}

@@ -1,0 +1,244 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"strings"
+
+	"transn/internal/baselines"
+	"transn/internal/dataset"
+	"transn/internal/eval"
+	"transn/internal/graph"
+	"transn/internal/mat"
+	"transn/internal/tsne"
+)
+
+// Table2 prints the dataset-statistics table (paper Table II analogue)
+// and returns the stats per dataset.
+func Table2(w io.Writer, opts Options) map[string]graph.Stats {
+	out := map[string]graph.Stats{}
+	fmt.Fprintln(w, "Table II: Statistics of Synthetic Heterogeneous Network Datasets")
+	fmt.Fprintf(w, "%-12s %8s %8s %8s %-34s %-40s\n",
+		"Dataset", "#Nodes", "#Edges", "#Labeled", "NodeTypes", "EdgeTypes")
+	for _, spec := range dataset.All() {
+		g := spec.Generate(opts.Size, opts.Seed)
+		s := g.ComputeStats()
+		out[spec.Name] = s
+		fmt.Fprintf(w, "%-12s %8d %8d %8d %-34s %-40s\n",
+			spec.Name, s.NumNodes, s.NumEdges, s.LabeledNodes,
+			strings.Join(graph.SortedTypeCounts(s.NodesPerType), ","),
+			strings.Join(graph.SortedTypeCounts(s.EdgesPerType), ","))
+	}
+	return out
+}
+
+// Table3 runs the node-classification comparison (paper Table III):
+// every method on every dataset, macro/micro-F1 averaged over
+// opts.Reps 90/10 splits.
+func Table3(w io.Writer, opts Options) ([]Row, error) {
+	var rows []Row
+	for _, spec := range dataset.All() {
+		g := spec.Generate(opts.Size, opts.Seed)
+		for _, m := range Methods(spec.Name, opts.Size) {
+			row, err := classifyRow(g, spec.Name, m, opts)
+			if err != nil {
+				return nil, fmt.Errorf("table3 %s/%s: %w", spec.Name, m.Name(), err)
+			}
+			rows = append(rows, row)
+		}
+	}
+	fmt.Fprintln(w, "Table III: Results of the Node Classification Task")
+	PrintRows(w, rows, []string{"Macro-F1", "Micro-F1"})
+	return rows, nil
+}
+
+func classifyRow(g *graph.Graph, datasetName string, m baselines.Method, opts Options) (Row, error) {
+	emb, err := m.Embed(g, opts.Dim, opts.Seed)
+	if err != nil {
+		return Row{}, err
+	}
+	rng := rand.New(rand.NewSource(opts.Seed + 1))
+	macro, micro, err := eval.NodeClassification(emb, g, 0.9, opts.Reps, rng)
+	if err != nil {
+		return Row{}, err
+	}
+	return Row{
+		Dataset: datasetName,
+		Method:  m.Name(),
+		Metrics: map[string]float64{"Macro-F1": macro, "Micro-F1": micro},
+	}, nil
+}
+
+// Table4 runs the link-prediction comparison (paper Table IV): 40% of
+// edges removed, methods trained on the remainder, pairs scored by
+// embedding inner product, AUC reported.
+func Table4(w io.Writer, opts Options) ([]Row, error) {
+	var rows []Row
+	for _, spec := range dataset.All() {
+		g := spec.Generate(opts.Size, opts.Seed)
+		rng := rand.New(rand.NewSource(opts.Seed + 2))
+		sub, pos, neg, err := eval.LinkPredictionSplit(g, 0.4, rng)
+		if err != nil {
+			return nil, fmt.Errorf("table4 %s: %w", spec.Name, err)
+		}
+		for _, m := range Methods(spec.Name, opts.Size) {
+			emb, err := m.Embed(sub, opts.Dim, opts.Seed)
+			if err != nil {
+				return nil, fmt.Errorf("table4 %s/%s: %w", spec.Name, m.Name(), err)
+			}
+			rows = append(rows, Row{
+				Dataset: spec.Name,
+				Method:  m.Name(),
+				Metrics: map[string]float64{"AUC": eval.LinkPredictionAUC(emb, pos, neg)},
+			})
+		}
+	}
+	fmt.Fprintln(w, "Table IV: AUC Scores of the Link Prediction Task")
+	PrintRows(w, rows, []string{"AUC"})
+	return rows, nil
+}
+
+// Table5 runs the ablation study (paper Table V): the five degenerated
+// TransN variants plus the full model on the node-classification task.
+func Table5(w io.Writer, opts Options) ([]Row, error) {
+	var rows []Row
+	for _, spec := range dataset.All() {
+		g := spec.Generate(opts.Size, opts.Seed)
+		for _, m := range AblationMethods(opts.Size) {
+			row, err := classifyRow(g, spec.Name, m, opts)
+			if err != nil {
+				return nil, fmt.Errorf("table5 %s/%s: %w", spec.Name, m.Name(), err)
+			}
+			rows = append(rows, row)
+		}
+	}
+	fmt.Fprintln(w, "Table V: Results of the Ablation Study on TransN")
+	PrintRows(w, rows, []string{"Macro-F1", "Micro-F1"})
+	return rows, nil
+}
+
+// Figure6Result holds one method's case-study projection.
+type Figure6Result struct {
+	Method     string
+	Points     *mat.Dense // 2D coordinates, one row per selected applet
+	Labels     []int      // category of each point
+	Silhouette float64    // cluster separation of the projection
+}
+
+// Figure6 reproduces the case study (paper Figure 6): select up to 10
+// labeled applets per category from App-Daily, embed with HIN2VEC,
+// SimplE and TransN, project to 2D with t-SNE, and report the silhouette
+// score of each projection (higher = better-separated categories, the
+// figure's qualitative claim made quantitative).
+func Figure6(w io.Writer, opts Options) ([]Figure6Result, error) {
+	g := dataset.AppDaily(opts.Size, opts.Seed)
+	rng := rand.New(rand.NewSource(opts.Seed + 3))
+
+	// Pick up to 10 labeled applets per category, at random.
+	perCat := map[int][]graph.NodeID{}
+	for _, id := range g.LabeledNodes() {
+		perCat[g.Label(id)] = append(perCat[g.Label(id)], id)
+	}
+	var selected []graph.NodeID
+	var labels []int
+	for c := 0; c < g.NumLabels(); c++ {
+		ids := perCat[c]
+		rng.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
+		k := 10
+		if k > len(ids) {
+			k = len(ids)
+		}
+		for _, id := range ids[:k] {
+			selected = append(selected, id)
+			labels = append(labels, c)
+		}
+	}
+	if len(selected) == 0 {
+		return nil, fmt.Errorf("figure6: no labeled applets")
+	}
+
+	size := opts.Size
+	methods := []baselines.Method{
+		pickMethod(Methods("App-Daily", size), "HIN2VEC"),
+		pickMethod(Methods("App-Daily", size), "SimplE"),
+		pickMethod(Methods("App-Daily", size), "TransN"),
+	}
+	var results []Figure6Result
+	fmt.Fprintln(w, "Figure 6: t-SNE projections of applet embeddings (App-Daily)")
+	for _, m := range methods {
+		emb, err := m.Embed(g, opts.Dim, opts.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("figure6 %s: %w", m.Name(), err)
+		}
+		X := mat.New(len(selected), emb.C)
+		for i, id := range selected {
+			X.SetRow(i, emb.Row(int(id)))
+		}
+		Y := tsne.Embed(X, tsne.Config{Iterations: 400, Perplexity: 12, Seed: opts.Seed})
+		sil := eval.Silhouette(Y, labels)
+		results = append(results, Figure6Result{
+			Method: m.Name(), Points: Y, Labels: labels, Silhouette: sil,
+		})
+		fmt.Fprintf(w, "  %-10s %3d applets in %d categories, silhouette %.4f\n",
+			m.Name(), len(selected), g.NumLabels(), sil)
+	}
+	return results, nil
+}
+
+// WriteFigure6Points dumps projection coordinates in a plottable TSV:
+// method, x, y, category.
+func WriteFigure6Points(w io.Writer, results []Figure6Result) {
+	fmt.Fprintln(w, "method\tx\ty\tcategory")
+	for _, r := range results {
+		for i := 0; i < r.Points.R; i++ {
+			fmt.Fprintf(w, "%s\t%.5f\t%.5f\t%d\n",
+				r.Method, r.Points.At(i, 0), r.Points.At(i, 1), r.Labels[i])
+		}
+	}
+}
+
+func pickMethod(ms []baselines.Method, name string) baselines.Method {
+	for _, m := range ms {
+		if m.Name() == name {
+			return m
+		}
+	}
+	panic(fmt.Sprintf("experiments: method %q not in roster", name))
+}
+
+// TableClustering runs the node-clustering extension task (not in the
+// paper; a standard companion evaluation in the HIN-embedding
+// literature): k-means over labeled-node embeddings with k = number of
+// classes, scored by NMI against the true labels.
+func TableClustering(w io.Writer, opts Options) ([]Row, error) {
+	var rows []Row
+	for _, spec := range dataset.All() {
+		g := spec.Generate(opts.Size, opts.Seed)
+		labeled := g.LabeledNodes()
+		labels := make([]int, len(labeled))
+		for i, id := range labeled {
+			labels[i] = g.Label(id)
+		}
+		for _, m := range Methods(spec.Name, opts.Size) {
+			emb, err := m.Embed(g, opts.Dim, opts.Seed)
+			if err != nil {
+				return nil, fmt.Errorf("clustering %s/%s: %w", spec.Name, m.Name(), err)
+			}
+			X := mat.New(len(labeled), emb.C)
+			for i, id := range labeled {
+				X.SetRow(i, emb.Row(int(id)))
+			}
+			rng := rand.New(rand.NewSource(opts.Seed + 4))
+			nmi := eval.NodeClustering(X, labels, g.NumLabels(), rng)
+			rows = append(rows, Row{
+				Dataset: spec.Name,
+				Method:  m.Name(),
+				Metrics: map[string]float64{"NMI": nmi},
+			})
+		}
+	}
+	fmt.Fprintln(w, "Extension: Node Clustering (k-means on embeddings, NMI)")
+	PrintRows(w, rows, []string{"NMI"})
+	return rows, nil
+}

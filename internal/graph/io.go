@@ -1,0 +1,99 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The TSV network format is line-oriented:
+//
+//	# comment
+//	N <name> <node-type> [label]
+//	E <u-name> <v-name> <edge-type> [weight]
+//
+// Nodes must be declared before edges reference them. Weight defaults
+// to 1. Labels are non-negative integers.
+
+// Store writes g in the TSV network format.
+func Store(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# transn network: %d nodes, %d edges\n", g.NumNodes(), g.NumEdges())
+	for _, n := range g.Nodes {
+		if n.Label != NoLabel {
+			fmt.Fprintf(bw, "N\t%s\t%s\t%d\n", n.Name, g.NodeTypeNames[n.Type], n.Label)
+		} else {
+			fmt.Fprintf(bw, "N\t%s\t%s\n", n.Name, g.NodeTypeNames[n.Type])
+		}
+	}
+	for _, e := range g.Edges {
+		fmt.Fprintf(bw, "E\t%s\t%s\t%s\t%g\n",
+			g.Nodes[e.U].Name, g.Nodes[e.V].Name, g.EdgeTypeNames[e.Type], e.Weight)
+	}
+	return bw.Flush()
+}
+
+// Load parses the TSV network format into a Graph.
+func Load(r io.Reader) (*Graph, error) {
+	b := NewBuilder()
+	byName := map[string]NodeID{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "N":
+			if len(fields) < 3 || len(fields) > 4 {
+				return nil, fmt.Errorf("graph: line %d: N wants 2-3 args", lineNo)
+			}
+			name := fields[1]
+			if _, dup := byName[name]; dup {
+				return nil, fmt.Errorf("graph: line %d: duplicate node %q", lineNo, name)
+			}
+			id := b.AddNode(b.NodeType(fields[2]), name)
+			byName[name] = id
+			if len(fields) == 4 {
+				label, err := strconv.Atoi(fields[3])
+				if err != nil || label < 0 {
+					return nil, fmt.Errorf("graph: line %d: bad label %q", lineNo, fields[3])
+				}
+				b.SetLabel(id, label)
+			}
+		case "E":
+			if len(fields) < 4 || len(fields) > 5 {
+				return nil, fmt.Errorf("graph: line %d: E wants 3-4 args", lineNo)
+			}
+			u, ok := byName[fields[1]]
+			if !ok {
+				return nil, fmt.Errorf("graph: line %d: unknown node %q", lineNo, fields[1])
+			}
+			v, ok := byName[fields[2]]
+			if !ok {
+				return nil, fmt.Errorf("graph: line %d: unknown node %q", lineNo, fields[2])
+			}
+			w := 1.0
+			if len(fields) == 5 {
+				var err error
+				w, err = strconv.ParseFloat(fields[4], 64)
+				if err != nil {
+					return nil, fmt.Errorf("graph: line %d: bad weight %q", lineNo, fields[4])
+				}
+			}
+			b.AddEdge(u, v, b.EdgeType(fields[3]), w)
+		default:
+			return nil, fmt.Errorf("graph: line %d: unknown record %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graph: read: %w", err)
+	}
+	return b.Build()
+}

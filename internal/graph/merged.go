@@ -1,0 +1,10 @@
+package graph
+
+// MergedView builds a single View over all edges of the graph, ignoring
+// edge types. It is a utility for the homogeneous baselines (LINE,
+// node2vec), which the paper feeds the network with type information
+// removed (Section IV-A2). Hetero is set when the merged node set spans
+// more than one node type, which only affects context-window selection.
+func MergedView(g *Graph) *View {
+	return buildView(g, EdgeType(-1), g.Edges)
+}

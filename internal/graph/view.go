@@ -1,0 +1,242 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// View is a subnetwork φ_i = {V_i, E_i} induced by one edge type
+// (Definition 2). Adjacency is stored in CSR form over local node indices
+// so random walks touch contiguous memory.
+type View struct {
+	Type    EdgeType
+	NodeIDs []NodeID // sorted global IDs of V_i
+	Hetero  bool     // heter-view (two node types) vs homo-view (Definition 4)
+
+	local   map[NodeID]int // global → local index
+	rowPtr  []int          // CSR row pointers, len = |V_i|+1
+	colIdx  []int32        // CSR neighbor local indices
+	weights []float64      // CSR edge weights, parallel to colIdx
+	numEdge int
+}
+
+func buildView(g *Graph, t EdgeType, edges []Edge) *View {
+	v := &View{Type: t, local: map[NodeID]int{}}
+	// Collect end-nodes.
+	inView := map[NodeID]bool{}
+	types := map[NodeType]bool{}
+	for _, e := range edges {
+		inView[e.U] = true
+		inView[e.V] = true
+		types[g.Nodes[e.U].Type] = true
+		types[g.Nodes[e.V].Type] = true
+	}
+	v.Hetero = len(types) == 2
+	v.NodeIDs = make([]NodeID, 0, len(inView))
+	for id := range inView {
+		v.NodeIDs = append(v.NodeIDs, id)
+	}
+	sort.Slice(v.NodeIDs, func(i, j int) bool { return v.NodeIDs[i] < v.NodeIDs[j] })
+	for i, id := range v.NodeIDs {
+		v.local[id] = i
+	}
+	// Degree counting pass, then fill.
+	n := len(v.NodeIDs)
+	deg := make([]int, n)
+	for _, e := range edges {
+		deg[v.local[e.U]]++
+		deg[v.local[e.V]]++
+	}
+	v.rowPtr = make([]int, n+1)
+	for i := 0; i < n; i++ {
+		v.rowPtr[i+1] = v.rowPtr[i] + deg[i]
+	}
+	v.colIdx = make([]int32, v.rowPtr[n])
+	v.weights = make([]float64, v.rowPtr[n])
+	fill := make([]int, n)
+	copy(fill, v.rowPtr[:n])
+	for _, e := range edges {
+		lu, lv := v.local[e.U], v.local[e.V]
+		v.colIdx[fill[lu]] = int32(lv)
+		v.weights[fill[lu]] = e.Weight
+		fill[lu]++
+		v.colIdx[fill[lv]] = int32(lu)
+		v.weights[fill[lv]] = e.Weight
+		fill[lv]++
+	}
+	v.numEdge = len(edges)
+	return v
+}
+
+// NumNodes returns |V_i|.
+func (v *View) NumNodes() int { return len(v.NodeIDs) }
+
+// NumEdges returns |E_i|.
+func (v *View) NumEdges() int { return v.numEdge }
+
+// Local returns the local index of global node id, or -1 when the node is
+// not in the view.
+func (v *View) Local(id NodeID) int {
+	if l, ok := v.local[id]; ok {
+		return l
+	}
+	return -1
+}
+
+// Global returns the global NodeID for local index l.
+func (v *View) Global(l int) NodeID { return v.NodeIDs[l] }
+
+// Contains reports whether global node id is in the view.
+func (v *View) Contains(id NodeID) bool {
+	_, ok := v.local[id]
+	return ok
+}
+
+// Degree returns the number of incident edges of local node l.
+func (v *View) Degree(l int) int { return v.rowPtr[l+1] - v.rowPtr[l] }
+
+// Neighbors returns local neighbor indices and parallel edge weights of
+// local node l. The returned slices alias the CSR storage; do not mutate.
+func (v *View) Neighbors(l int) ([]int32, []float64) {
+	lo, hi := v.rowPtr[l], v.rowPtr[l+1]
+	return v.colIdx[lo:hi], v.weights[lo:hi]
+}
+
+// WeightedDegree returns the total weight incident to local node l.
+func (v *View) WeightedDegree(l int) float64 {
+	_, ws := v.Neighbors(l)
+	var s float64
+	for _, w := range ws {
+		s += w
+	}
+	return s
+}
+
+// EdgeWeight returns the weight of the edge between local nodes a and b,
+// or 0 when no edge exists. For multi-edges it returns the first found.
+func (v *View) EdgeWeight(a, b int) float64 {
+	ns, ws := v.Neighbors(a)
+	for i, n := range ns {
+		if int(n) == b {
+			return ws[i]
+		}
+	}
+	return 0
+}
+
+// PairedSubview reduces views φ_i, φ_j of a view-pair to the paired-
+// subviews φ'_i, φ'_j (Definition 5): the subnetwork of each view over the
+// common nodes M_ij together with their neighbors A_ij, and the edges
+// between them.
+//
+// Note on the definition: the paper's formula says "nodes M_ij ∩ A_ij"
+// but its prose ("we focus on the common nodes and their neighbor nodes")
+// and Figure 5 make clear the intended node set is M_ij ∪ A_ij; the
+// intersection would typically be empty. We implement the union. See
+// DESIGN.md §2.
+func PairedSubview(view *View, common []NodeID) *View {
+	commonSet := make(map[NodeID]bool, len(common))
+	for _, id := range common {
+		commonSet[id] = true
+	}
+	keep := map[NodeID]bool{}
+	for _, id := range common {
+		l := view.Local(id)
+		if l < 0 {
+			continue
+		}
+		keep[id] = true
+		ns, _ := view.Neighbors(l)
+		for _, nb := range ns {
+			keep[view.Global(int(nb))] = true
+		}
+	}
+	return inducedSubview(view, keep)
+}
+
+// inducedSubview builds a new View over the kept global nodes with all
+// view edges whose both endpoints are kept.
+func inducedSubview(view *View, keep map[NodeID]bool) *View {
+	sub := &View{Type: view.Type, Hetero: view.Hetero, local: map[NodeID]int{}}
+	for id := range keep {
+		if view.Contains(id) {
+			sub.NodeIDs = append(sub.NodeIDs, id)
+		}
+	}
+	sort.Slice(sub.NodeIDs, func(i, j int) bool { return sub.NodeIDs[i] < sub.NodeIDs[j] })
+	for i, id := range sub.NodeIDs {
+		sub.local[id] = i
+	}
+	n := len(sub.NodeIDs)
+	deg := make([]int, n)
+	// Count (each undirected edge seen twice in CSR; count directed slots).
+	for i, id := range sub.NodeIDs {
+		vl := view.Local(id)
+		ns, _ := view.Neighbors(vl)
+		for _, nb := range ns {
+			if keep[view.Global(int(nb))] {
+				deg[i]++
+			}
+		}
+	}
+	sub.rowPtr = make([]int, n+1)
+	for i := 0; i < n; i++ {
+		sub.rowPtr[i+1] = sub.rowPtr[i] + deg[i]
+	}
+	sub.colIdx = make([]int32, sub.rowPtr[n])
+	sub.weights = make([]float64, sub.rowPtr[n])
+	fill := make([]int, n)
+	copy(fill, sub.rowPtr[:n])
+	for i, id := range sub.NodeIDs {
+		vl := view.Local(id)
+		ns, ws := view.Neighbors(vl)
+		for k, nb := range ns {
+			gnb := view.Global(int(nb))
+			if sl, ok := sub.local[gnb]; ok {
+				sub.colIdx[fill[i]] = int32(sl)
+				sub.weights[fill[i]] = ws[k]
+				fill[i]++
+			}
+		}
+	}
+	sub.numEdge = sub.rowPtr[n] / 2
+	return sub
+}
+
+// Validate checks internal CSR invariants; it is used by tests and guards
+// against builder regressions. It returns nil when the view is coherent.
+func (v *View) Validate() error {
+	n := len(v.NodeIDs)
+	if len(v.rowPtr) != n+1 {
+		return fmt.Errorf("view: rowPtr length %d want %d", len(v.rowPtr), n+1)
+	}
+	if v.rowPtr[n] != len(v.colIdx) || len(v.colIdx) != len(v.weights) {
+		return fmt.Errorf("view: CSR arrays inconsistent")
+	}
+	for l := 0; l < n; l++ {
+		ns, ws := v.Neighbors(l)
+		for i, nb := range ns {
+			if int(nb) < 0 || int(nb) >= n {
+				return fmt.Errorf("view: neighbor index %d out of range", nb)
+			}
+			if ws[i] <= 0 {
+				return fmt.Errorf("view: non-positive weight %g", ws[i])
+			}
+			// Symmetry: nb must list l back with the same weight.
+			if !hasBackEdge(v, int(nb), l, ws[i]) {
+				return fmt.Errorf("view: missing symmetric edge %d->%d", nb, l)
+			}
+		}
+	}
+	return nil
+}
+
+func hasBackEdge(v *View, from, to int, w float64) bool {
+	ns, ws := v.Neighbors(from)
+	for i, nb := range ns {
+		if int(nb) == to && ws[i] == w {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,371 @@
+// Package mat provides a dense, row-major float64 matrix and the small set
+// of linear-algebra kernels the rest of the repository needs. It is
+// deliberately BLAS-free: everything is plain Go over a single contiguous
+// backing slice so the code runs anywhere the standard library does.
+package mat
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dense is a row-major matrix with R rows and C columns. Element (i, j)
+// lives at Data[i*C+j]. The zero value is an empty 0x0 matrix.
+type Dense struct {
+	R, C int
+	Data []float64
+}
+
+// New returns a zeroed r-by-c matrix.
+func New(r, c int) *Dense {
+	if r < 0 || c < 0 {
+		panic(fmt.Sprintf("mat: negative dimension %dx%d", r, c))
+	}
+	return &Dense{R: r, C: c, Data: make([]float64, r*c)}
+}
+
+// FromSlice wraps data (length must be r*c) in a Dense without copying.
+func FromSlice(r, c int, data []float64) *Dense {
+	if len(data) != r*c {
+		panic(fmt.Sprintf("mat: FromSlice length %d != %d*%d", len(data), r, c))
+	}
+	return &Dense{R: r, C: c, Data: data}
+}
+
+// At returns element (i, j).
+func (m *Dense) At(i, j int) float64 { return m.Data[i*m.C+j] }
+
+// Set assigns element (i, j).
+func (m *Dense) Set(i, j int, v float64) { m.Data[i*m.C+j] = v }
+
+// Row returns a view (not a copy) of row i.
+func (m *Dense) Row(i int) []float64 { return m.Data[i*m.C : (i+1)*m.C] }
+
+// SetRow copies v into row i. len(v) must equal m.C.
+func (m *Dense) SetRow(i int, v []float64) {
+	if len(v) != m.C {
+		panic(fmt.Sprintf("mat: SetRow length %d != cols %d", len(v), m.C))
+	}
+	copy(m.Row(i), v)
+}
+
+// Clone returns a deep copy of m.
+func (m *Dense) Clone() *Dense {
+	out := New(m.R, m.C)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// Zero sets every element to 0.
+func (m *Dense) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// Fill sets every element to v.
+func (m *Dense) Fill(v float64) {
+	for i := range m.Data {
+		m.Data[i] = v
+	}
+}
+
+// SameShape reports whether m and n have identical dimensions.
+func (m *Dense) SameShape(n *Dense) bool { return m.R == n.R && m.C == n.C }
+
+func mustSameShape(op string, a, b *Dense) {
+	if !a.SameShape(b) {
+		panic(fmt.Sprintf("mat: %s shape mismatch %dx%d vs %dx%d", op, a.R, a.C, b.R, b.C))
+	}
+}
+
+// Add stores a+b into dst (allocating when dst is nil) and returns dst.
+func Add(dst, a, b *Dense) *Dense {
+	mustSameShape("Add", a, b)
+	if dst == nil {
+		dst = New(a.R, a.C)
+	}
+	mustSameShape("Add dst", dst, a)
+	for i := range a.Data {
+		dst.Data[i] = a.Data[i] + b.Data[i]
+	}
+	return dst
+}
+
+// Sub stores a-b into dst (allocating when dst is nil) and returns dst.
+func Sub(dst, a, b *Dense) *Dense {
+	mustSameShape("Sub", a, b)
+	if dst == nil {
+		dst = New(a.R, a.C)
+	}
+	mustSameShape("Sub dst", dst, a)
+	for i := range a.Data {
+		dst.Data[i] = a.Data[i] - b.Data[i]
+	}
+	return dst
+}
+
+// ElemMul stores the Hadamard product a⊙b into dst and returns dst.
+func ElemMul(dst, a, b *Dense) *Dense {
+	mustSameShape("ElemMul", a, b)
+	if dst == nil {
+		dst = New(a.R, a.C)
+	}
+	mustSameShape("ElemMul dst", dst, a)
+	for i := range a.Data {
+		dst.Data[i] = a.Data[i] * b.Data[i]
+	}
+	return dst
+}
+
+// Scale stores s*a into dst and returns dst.
+func Scale(dst *Dense, s float64, a *Dense) *Dense {
+	if dst == nil {
+		dst = New(a.R, a.C)
+	}
+	mustSameShape("Scale dst", dst, a)
+	for i := range a.Data {
+		dst.Data[i] = s * a.Data[i]
+	}
+	return dst
+}
+
+// AddScaled performs dst += s*a in place (axpy) and returns dst.
+func AddScaled(dst *Dense, s float64, a *Dense) *Dense {
+	mustSameShape("AddScaled", dst, a)
+	for i := range a.Data {
+		dst.Data[i] += s * a.Data[i]
+	}
+	return dst
+}
+
+// MatMul stores a·b into dst (allocating when dst is nil) and returns dst.
+// a is r-by-k, b is k-by-c, dst is r-by-c. dst must not alias a or b.
+func MatMul(dst, a, b *Dense) *Dense {
+	if a.C != b.R {
+		panic(fmt.Sprintf("mat: MatMul inner dims %d vs %d", a.C, b.R))
+	}
+	if dst == nil {
+		dst = New(a.R, b.C)
+	}
+	if dst.R != a.R || dst.C != b.C {
+		panic(fmt.Sprintf("mat: MatMul dst %dx%d want %dx%d", dst.R, dst.C, a.R, b.C))
+	}
+	dst.Zero()
+	// ikj loop order: streams over b and dst rows for cache friendliness.
+	for i := 0; i < a.R; i++ {
+		arow := a.Row(i)
+		drow := dst.Row(i)
+		for k := 0; k < a.C; k++ {
+			aik := arow[k]
+			if aik == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j := range drow {
+				drow[j] += aik * brow[j]
+			}
+		}
+	}
+	return dst
+}
+
+// MatMulT stores a·bᵀ into dst and returns dst. a is r-by-k, b is c-by-k.
+func MatMulT(dst, a, b *Dense) *Dense {
+	if a.C != b.C {
+		panic(fmt.Sprintf("mat: MatMulT inner dims %d vs %d", a.C, b.C))
+	}
+	if dst == nil {
+		dst = New(a.R, b.R)
+	}
+	if dst.R != a.R || dst.C != b.R {
+		panic(fmt.Sprintf("mat: MatMulT dst %dx%d want %dx%d", dst.R, dst.C, a.R, b.R))
+	}
+	for i := 0; i < a.R; i++ {
+		arow := a.Row(i)
+		drow := dst.Row(i)
+		for j := 0; j < b.R; j++ {
+			brow := b.Row(j)
+			var s float64
+			for k := range arow {
+				s += arow[k] * brow[k]
+			}
+			drow[j] = s
+		}
+	}
+	return dst
+}
+
+// TMatMul stores aᵀ·b into dst and returns dst. a is k-by-r, b is k-by-c.
+func TMatMul(dst, a, b *Dense) *Dense {
+	if a.R != b.R {
+		panic(fmt.Sprintf("mat: TMatMul inner dims %d vs %d", a.R, b.R))
+	}
+	if dst == nil {
+		dst = New(a.C, b.C)
+	}
+	if dst.R != a.C || dst.C != b.C {
+		panic(fmt.Sprintf("mat: TMatMul dst %dx%d want %dx%d", dst.R, dst.C, a.C, b.C))
+	}
+	dst.Zero()
+	for k := 0; k < a.R; k++ {
+		arow := a.Row(k)
+		brow := b.Row(k)
+		for i, aki := range arow {
+			if aki == 0 {
+				continue
+			}
+			drow := dst.Row(i)
+			for j := range brow {
+				drow[j] += aki * brow[j]
+			}
+		}
+	}
+	return dst
+}
+
+// Transpose stores aᵀ into dst and returns dst. dst must not alias a.
+func Transpose(dst, a *Dense) *Dense {
+	if dst == nil {
+		dst = New(a.C, a.R)
+	}
+	if dst.R != a.C || dst.C != a.R {
+		panic(fmt.Sprintf("mat: Transpose dst %dx%d want %dx%d", dst.R, dst.C, a.C, a.R))
+	}
+	for i := 0; i < a.R; i++ {
+		for j := 0; j < a.C; j++ {
+			dst.Set(j, i, a.At(i, j))
+		}
+	}
+	return dst
+}
+
+// SoftmaxRows stores the row-wise softmax of a into dst and returns dst.
+// Each row is shifted by its maximum for numerical stability.
+func SoftmaxRows(dst, a *Dense) *Dense {
+	if dst == nil {
+		dst = New(a.R, a.C)
+	}
+	mustSameShape("SoftmaxRows dst", dst, a)
+	for i := 0; i < a.R; i++ {
+		arow := a.Row(i)
+		drow := dst.Row(i)
+		maxv := math.Inf(-1)
+		for _, v := range arow {
+			if v > maxv {
+				maxv = v
+			}
+		}
+		var sum float64
+		for j, v := range arow {
+			e := math.Exp(v - maxv)
+			drow[j] = e
+			sum += e
+		}
+		inv := 1 / sum
+		for j := range drow {
+			drow[j] *= inv
+		}
+	}
+	return dst
+}
+
+// Relu stores max(0, a) elementwise into dst and returns dst.
+func Relu(dst, a *Dense) *Dense {
+	if dst == nil {
+		dst = New(a.R, a.C)
+	}
+	mustSameShape("Relu dst", dst, a)
+	for i, v := range a.Data {
+		if v > 0 {
+			dst.Data[i] = v
+		} else {
+			dst.Data[i] = 0
+		}
+	}
+	return dst
+}
+
+// Dot returns the inner product of vectors x and y.
+func Dot(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("mat: Dot length %d vs %d", len(x), len(y)))
+	}
+	var s float64
+	for i := range x {
+		s += x[i] * y[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of x.
+func Norm2(x []float64) float64 { return math.Sqrt(Dot(x, x)) }
+
+// CosineSim returns the cosine similarity of x and y, or 0 when either is
+// the zero vector.
+func CosineSim(x, y []float64) float64 {
+	nx, ny := Norm2(x), Norm2(y)
+	if nx == 0 || ny == 0 {
+		return 0
+	}
+	return Dot(x, y) / (nx * ny)
+}
+
+// FrobeniusNorm returns the Frobenius norm of m.
+func (m *Dense) FrobeniusNorm() float64 { return Norm2(m.Data) }
+
+// Sum returns the sum of all elements.
+func (m *Dense) Sum() float64 {
+	var s float64
+	for _, v := range m.Data {
+		s += v
+	}
+	return s
+}
+
+// MaxAbs returns the largest absolute element value, or 0 for empty matrices.
+func (m *Dense) MaxAbs() float64 {
+	var s float64
+	for _, v := range m.Data {
+		if a := math.Abs(v); a > s {
+			s = a
+		}
+	}
+	return s
+}
+
+// Equal reports whether m and n have the same shape and all elements within
+// tol of each other.
+func (m *Dense) Equal(n *Dense, tol float64) bool {
+	if !m.SameShape(n) {
+		return false
+	}
+	for i := range m.Data {
+		if math.Abs(m.Data[i]-n.Data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders a compact human-readable form, truncating large matrices.
+func (m *Dense) String() string {
+	const maxShow = 6
+	s := fmt.Sprintf("Dense %dx%d", m.R, m.C)
+	if m.R <= maxShow && m.C <= maxShow {
+		s += " ["
+		for i := 0; i < m.R; i++ {
+			if i > 0 {
+				s += "; "
+			}
+			for j := 0; j < m.C; j++ {
+				if j > 0 {
+					s += " "
+				}
+				s += fmt.Sprintf("%.4g", m.At(i, j))
+			}
+		}
+		s += "]"
+	}
+	return s
+}

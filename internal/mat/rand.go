@@ -1,0 +1,40 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+)
+
+// RandN fills a new r-by-c matrix with N(0, std²) entries drawn from rng.
+func RandN(r, c int, std float64, rng *rand.Rand) *Dense {
+	m := New(r, c)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64() * std
+	}
+	return m
+}
+
+// RandUniform fills a new r-by-c matrix with Uniform(lo, hi) entries.
+func RandUniform(r, c int, lo, hi float64, rng *rand.Rand) *Dense {
+	m := New(r, c)
+	span := hi - lo
+	for i := range m.Data {
+		m.Data[i] = lo + span*rng.Float64()
+	}
+	return m
+}
+
+// XavierInit returns an r-by-c matrix initialized with the Glorot/Xavier
+// uniform scheme: Uniform(-s, s) with s = sqrt(6/(r+c)). This is the
+// standard initialization for the translator feed-forward weights.
+func XavierInit(r, c int, rng *rand.Rand) *Dense {
+	s := math.Sqrt(6 / float64(r+c))
+	return RandUniform(r, c, -s, s, rng)
+}
+
+// EmbeddingInit returns an r-by-c matrix initialized Uniform(-0.5/c, 0.5/c),
+// the word2vec-style initialization used for node embedding tables.
+func EmbeddingInit(r, c int, rng *rand.Rand) *Dense {
+	s := 0.5 / float64(c)
+	return RandUniform(r, c, -s, s, rng)
+}

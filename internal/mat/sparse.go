@@ -1,0 +1,107 @@
+package mat
+
+import "fmt"
+
+// Sparse is an immutable CSR matrix used for graph propagation (R-GCN's
+// normalized adjacency). Only the products needed by the models are
+// provided: S·X and Sᵀ·X for dense X.
+type Sparse struct {
+	R, C   int
+	RowPtr []int
+	Col    []int32
+	Val    []float64
+}
+
+// NewSparse builds a CSR matrix from per-row (col, val) entries. rows
+// must have length r; entries may be in any column order.
+func NewSparse(r, c int, rows [][]SparseEntry) *Sparse {
+	s := &Sparse{R: r, C: c, RowPtr: make([]int, r+1)}
+	for i, es := range rows {
+		s.RowPtr[i+1] = s.RowPtr[i] + len(es)
+	}
+	n := s.RowPtr[r]
+	s.Col = make([]int32, 0, n)
+	s.Val = make([]float64, 0, n)
+	for _, es := range rows {
+		for _, e := range es {
+			if e.Col < 0 || e.Col >= c {
+				panic(fmt.Sprintf("mat: sparse column %d out of range", e.Col))
+			}
+			s.Col = append(s.Col, int32(e.Col))
+			s.Val = append(s.Val, e.Val)
+		}
+	}
+	return s
+}
+
+// SparseEntry is one (column, value) pair of a sparse row.
+type SparseEntry struct {
+	Col int
+	Val float64
+}
+
+// NNZ returns the number of stored entries.
+func (s *Sparse) NNZ() int { return len(s.Col) }
+
+// Mul stores S·x into dst (allocating when nil) and returns dst.
+// x must be S.C×k; dst is S.R×k.
+func (s *Sparse) Mul(dst, x *Dense) *Dense {
+	if x.R != s.C {
+		panic(fmt.Sprintf("mat: Sparse.Mul inner dims %d vs %d", s.C, x.R))
+	}
+	if dst == nil {
+		dst = New(s.R, x.C)
+	}
+	if dst.R != s.R || dst.C != x.C {
+		panic("mat: Sparse.Mul dst shape")
+	}
+	dst.Zero()
+	for i := 0; i < s.R; i++ {
+		drow := dst.Row(i)
+		for p := s.RowPtr[i]; p < s.RowPtr[i+1]; p++ {
+			v := s.Val[p]
+			xrow := x.Row(int(s.Col[p]))
+			for j := range drow {
+				drow[j] += v * xrow[j]
+			}
+		}
+	}
+	return dst
+}
+
+// TMul stores Sᵀ·x into dst (allocating when nil) and returns dst.
+// x must be S.R×k; dst is S.C×k.
+func (s *Sparse) TMul(dst, x *Dense) *Dense {
+	if x.R != s.R {
+		panic(fmt.Sprintf("mat: Sparse.TMul inner dims %d vs %d", s.R, x.R))
+	}
+	if dst == nil {
+		dst = New(s.C, x.C)
+	}
+	if dst.R != s.C || dst.C != x.C {
+		panic("mat: Sparse.TMul dst shape")
+	}
+	dst.Zero()
+	for i := 0; i < s.R; i++ {
+		xrow := x.Row(i)
+		for p := s.RowPtr[i]; p < s.RowPtr[i+1]; p++ {
+			v := s.Val[p]
+			drow := dst.Row(int(s.Col[p]))
+			for j := range xrow {
+				drow[j] += v * xrow[j]
+			}
+		}
+	}
+	return dst
+}
+
+// ToDense expands s, for tests.
+func (s *Sparse) ToDense() *Dense {
+	d := New(s.R, s.C)
+	for i := 0; i < s.R; i++ {
+		for p := s.RowPtr[i]; p < s.RowPtr[i+1]; p++ {
+			d.Set(i, int(s.Col[p]), d.At(i, int(s.Col[p]))+s.Val[p])
+		}
+	}
+	return d
+}

@@ -1,0 +1,84 @@
+package mat
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func buildSparse() *Sparse {
+	return NewSparse(2, 3, [][]SparseEntry{
+		{{Col: 0, Val: 2}, {Col: 2, Val: -1}},
+		{{Col: 1, Val: 3}},
+	})
+}
+
+func TestSparseToDense(t *testing.T) {
+	s := buildSparse()
+	want := FromSlice(2, 3, []float64{2, 0, -1, 0, 3, 0})
+	if !s.ToDense().Equal(want, 0) {
+		t.Fatalf("ToDense = %v", s.ToDense())
+	}
+	if s.NNZ() != 3 {
+		t.Fatalf("NNZ = %d", s.NNZ())
+	}
+}
+
+func TestSparseMulShapes(t *testing.T) {
+	s := buildSparse()
+	x := FromSlice(3, 2, []float64{1, 2, 3, 4, 5, 6})
+	got := s.Mul(nil, x)
+	want := MatMul(nil, s.ToDense(), x)
+	if !got.Equal(want, 1e-12) {
+		t.Fatal("Mul mismatch vs dense")
+	}
+	y := FromSlice(2, 2, []float64{1, 2, 3, 4})
+	gotT := s.TMul(nil, y)
+	wantT := MatMul(nil, Transpose(nil, s.ToDense()), y)
+	if !gotT.Equal(wantT, 1e-12) {
+		t.Fatal("TMul mismatch vs dense")
+	}
+}
+
+func TestSparsePanics(t *testing.T) {
+	s := buildSparse()
+	for name, fn := range map[string]func(){
+		"Mul wrong inner":  func() { s.Mul(nil, New(2, 2)) },
+		"TMul wrong inner": func() { s.TMul(nil, New(3, 2)) },
+		"Mul wrong dst":    func() { s.Mul(New(1, 1), New(3, 2)) },
+		"TMul wrong dst":   func() { s.TMul(New(1, 1), New(2, 2)) },
+		"bad column":       func() { NewSparse(1, 2, [][]SparseEntry{{{Col: 5, Val: 1}}}) },
+		"negative column":  func() { NewSparse(1, 2, [][]SparseEntry{{{Col: -1, Val: 1}}}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Property: Sparse.Mul always agrees with the dense product on random
+// sparse matrices.
+func TestSparseMulProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r, c := 2+rng.Intn(6), 2+rng.Intn(6)
+		rows := make([][]SparseEntry, r)
+		for i := range rows {
+			k := rng.Intn(c)
+			for j := 0; j < k; j++ {
+				rows[i] = append(rows[i], SparseEntry{Col: rng.Intn(c), Val: rng.NormFloat64()})
+			}
+		}
+		s := NewSparse(r, c, rows)
+		x := RandN(c, 3, 1, rng)
+		return s.Mul(nil, x).Equal(MatMul(nil, s.ToDense(), x), 1e-10)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

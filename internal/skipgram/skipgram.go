@@ -1,0 +1,166 @@
+// Package skipgram implements the skip-gram objective (Equation 3) used
+// by the paper's single-view algorithm and by the walk-based baselines.
+// Context selection follows Definition 6: window 1 on homo-views and
+// window 2 on heter-views. Two estimators of the softmax are provided:
+// negative sampling (default, word2vec-style) and hierarchical softmax
+// (matching the log₂ μ term of Theorem 1).
+package skipgram
+
+import (
+	"math"
+	"math/rand"
+
+	"transn/internal/mat"
+	"transn/internal/walk"
+)
+
+// Model holds input (node) and output (context) embedding tables. In is
+// the embedding users read out; Out exists only during training.
+type Model struct {
+	In, Out *mat.Dense // numNodes × dim
+}
+
+// NewModel returns a model with word2vec-style initialization: In is
+// Uniform(-0.5/dim, 0.5/dim), Out is zero.
+func NewModel(numNodes, dim int, rng *rand.Rand) *Model {
+	return &Model{
+		In:  mat.EmbeddingInit(numNodes, dim, rng),
+		Out: mat.New(numNodes, dim),
+	}
+}
+
+// Dim returns the embedding dimensionality.
+func (m *Model) Dim() int { return m.In.C }
+
+// NegSampler draws negative examples proportional to freq^0.75, the
+// word2vec unigram smoothing.
+type NegSampler struct {
+	alias *walk.Alias
+}
+
+// NewNegSampler builds a sampler from raw frequency counts. Zero-count
+// outcomes get a tiny floor so every node can be drawn.
+func NewNegSampler(freq []float64) *NegSampler {
+	w := make([]float64, len(freq))
+	for i, f := range freq {
+		if f <= 0 {
+			f = 1e-3
+		}
+		w[i] = math.Pow(f, 0.75)
+	}
+	return &NegSampler{alias: walk.NewAlias(w)}
+}
+
+// Draw samples one negative node index.
+func (s *NegSampler) Draw(rng *rand.Rand) int { return s.alias.Draw(rng) }
+
+// CorpusFrequencies counts node occurrences over a path corpus of local
+// indices in [0, numNodes).
+func CorpusFrequencies(paths [][]int, numNodes int) []float64 {
+	freq := make([]float64, numNodes)
+	for _, p := range paths {
+		for _, n := range p {
+			freq[n]++
+		}
+	}
+	return freq
+}
+
+// ContextOffsets returns Definition 6's context offsets: {−1, +1} for
+// homo-views, {−2, −1, +1, +2} for heter-views.
+func ContextOffsets(hetero bool) []int {
+	if hetero {
+		return []int{-2, -1, 1, 2}
+	}
+	return []int{-1, 1}
+}
+
+// SymmetricOffsets returns the offsets of a plain window of size w
+// (±1..±w), used by the DeepWalk/node2vec/metapath2vec baselines.
+func SymmetricOffsets(w int) []int {
+	out := make([]int, 0, 2*w)
+	for d := -w; d <= w; d++ {
+		if d != 0 {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// TrainPair applies one SGNS update for (center, context): the positive
+// pair is pushed together, neg sampled negatives are pushed apart. The
+// binary cross-entropy loss of the update is returned. Negatives equal to
+// the true context are re-drawn a bounded number of times.
+func (m *Model) TrainPair(center, context, neg int, lr float64, s *NegSampler, rng *rand.Rand) float64 {
+	in := m.In.Row(center)
+	dim := len(in)
+	grad := make([]float64, dim)
+	var loss float64
+
+	update := func(target int, label float64) {
+		out := m.Out.Row(target)
+		score := sigmoid(mat.Dot(in, out))
+		g := (score - label) * lr
+		if label == 1 {
+			loss += -math.Log(math.Max(score, 1e-10))
+		} else {
+			loss += -math.Log(math.Max(1-score, 1e-10))
+		}
+		for i := 0; i < dim; i++ {
+			grad[i] += g * out[i]
+			out[i] -= g * in[i]
+		}
+	}
+
+	update(context, 1)
+	for k := 0; k < neg; k++ {
+		n := s.Draw(rng)
+		for tries := 0; n == context && tries < 4; tries++ {
+			n = s.Draw(rng)
+		}
+		if n == context {
+			continue
+		}
+		update(n, 0)
+	}
+	for i := 0; i < dim; i++ {
+		in[i] -= grad[i]
+	}
+	return loss
+}
+
+// TrainCorpus runs one SGNS pass over the corpus using the given context
+// offsets and returns the mean pair loss. lr is held constant within the
+// pass; callers decay it across passes.
+func (m *Model) TrainCorpus(paths [][]int, offsets []int, neg int, lr float64, s *NegSampler, rng *rand.Rand) float64 {
+	var loss float64
+	var pairs int
+	for _, p := range paths {
+		for k, center := range p {
+			for _, d := range offsets {
+				j := k + d
+				if j < 0 || j >= len(p) || p[j] == center {
+					// Walks may revisit a node; a self-pair carries no
+					// proximity information (and inflates norms when the
+					// input and output tables are shared).
+					continue
+				}
+				loss += m.TrainPair(center, p[j], neg, lr, s, rng)
+				pairs++
+			}
+		}
+	}
+	if pairs == 0 {
+		return 0
+	}
+	return loss / float64(pairs)
+}
+
+func sigmoid(x float64) float64 {
+	if x >= 0 {
+		z := math.Exp(-x)
+		return 1 / (1 + z)
+	}
+	z := math.Exp(x)
+	return z / (1 + z)
+}

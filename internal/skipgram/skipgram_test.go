@@ -1,0 +1,280 @@
+package skipgram
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"transn/internal/mat"
+)
+
+func TestContextOffsets(t *testing.T) {
+	homo := ContextOffsets(false)
+	if len(homo) != 2 || homo[0] != -1 || homo[1] != 1 {
+		t.Fatalf("homo offsets = %v", homo)
+	}
+	heter := ContextOffsets(true)
+	want := []int{-2, -1, 1, 2}
+	if len(heter) != 4 {
+		t.Fatalf("heter offsets = %v", heter)
+	}
+	for i := range want {
+		if heter[i] != want[i] {
+			t.Fatalf("heter offsets = %v", heter)
+		}
+	}
+}
+
+func TestSymmetricOffsets(t *testing.T) {
+	got := SymmetricOffsets(3)
+	want := []int{-3, -2, -1, 1, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("offsets = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("offsets = %v", got)
+		}
+	}
+}
+
+func TestCorpusFrequencies(t *testing.T) {
+	paths := [][]int{{0, 1, 2}, {1, 2, 2}}
+	f := CorpusFrequencies(paths, 4)
+	want := []float64{1, 2, 3, 0}
+	for i := range want {
+		if f[i] != want[i] {
+			t.Fatalf("freq = %v", f)
+		}
+	}
+}
+
+func TestNegSamplerSmoothing(t *testing.T) {
+	// freq^0.75 smoothing: outcome 0 (freq 16) vs outcome 1 (freq 1)
+	// should be drawn in ratio 16^0.75 : 1 = 8 : 1.
+	s := NewNegSampler([]float64{16, 1})
+	rng := rand.New(rand.NewSource(1))
+	count0 := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if s.Draw(rng) == 0 {
+			count0++
+		}
+	}
+	want := 8.0 / 9.0
+	if got := float64(count0) / n; math.Abs(got-want) > 0.01 {
+		t.Fatalf("P(0) = %.4f want %.4f", got, want)
+	}
+}
+
+func TestNegSamplerZeroFreqFloor(t *testing.T) {
+	s := NewNegSampler([]float64{0, 1})
+	rng := rand.New(rand.NewSource(2))
+	saw0 := false
+	for i := 0; i < 10000; i++ {
+		if s.Draw(rng) == 0 {
+			saw0 = true
+			break
+		}
+	}
+	if !saw0 {
+		t.Fatal("zero-frequency outcome should still be drawable")
+	}
+}
+
+// twoClusterCorpus builds walks over two disjoint cliques {0,1,2} and
+// {3,4,5}: co-occurring nodes should end up with similar embeddings.
+func twoClusterCorpus(rng *rand.Rand, walks, length int) [][]int {
+	var paths [][]int
+	for c := 0; c < 2; c++ {
+		base := c * 3
+		for i := 0; i < walks; i++ {
+			p := make([]int, length)
+			for j := range p {
+				p[j] = base + rng.Intn(3)
+			}
+			paths = append(paths, p)
+		}
+	}
+	return paths
+}
+
+func TestSGNSSeparatesClusters(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	paths := twoClusterCorpus(rng, 60, 12)
+	m := NewModel(6, 16, rng)
+	s := NewNegSampler(CorpusFrequencies(paths, 6))
+	var last float64
+	for epoch := 0; epoch < 8; epoch++ {
+		lr := 0.05 * (1 - float64(epoch)/8)
+		last = m.TrainCorpus(paths, SymmetricOffsets(2), 5, lr, s, rng)
+	}
+	if math.IsNaN(last) || last <= 0 {
+		t.Fatalf("bad final loss %v", last)
+	}
+	intra := mat.CosineSim(m.In.Row(0), m.In.Row(1))
+	inter := mat.CosineSim(m.In.Row(0), m.In.Row(4))
+	if intra <= inter {
+		t.Fatalf("intra-cluster sim %.4f should exceed inter-cluster %.4f", intra, inter)
+	}
+}
+
+func TestTrainCorpusLossDecreases(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	paths := twoClusterCorpus(rng, 40, 10)
+	m := NewModel(6, 8, rng)
+	s := NewNegSampler(CorpusFrequencies(paths, 6))
+	first := m.TrainCorpus(paths, SymmetricOffsets(1), 5, 0.05, s, rng)
+	var last float64
+	for i := 0; i < 10; i++ {
+		last = m.TrainCorpus(paths, SymmetricOffsets(1), 5, 0.05, s, rng)
+	}
+	if last >= first {
+		t.Fatalf("loss did not decrease: first %.4f last %.4f", first, last)
+	}
+}
+
+func TestTrainCorpusEmptyPaths(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	m := NewModel(2, 4, rng)
+	s := NewNegSampler([]float64{1, 1})
+	if got := m.TrainCorpus(nil, SymmetricOffsets(1), 2, 0.1, s, rng); got != 0 {
+		t.Fatalf("empty corpus loss = %v", got)
+	}
+}
+
+func TestHuffmanCodesPrefixFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	freq := []float64{50, 20, 10, 5, 5, 3, 3, 2, 1, 1}
+	h := NewHSoftmax(freq, 4, rng)
+	// Prefix-freeness: no code is a prefix of another.
+	for i := range freq {
+		for j := range freq {
+			if i == j {
+				continue
+			}
+			if isPrefix(h.codes[i], h.codes[j]) {
+				t.Fatalf("code %d is a prefix of code %d", i, j)
+			}
+		}
+	}
+	// Optimality property: strictly more frequent symbols never have
+	// strictly longer codes (ties may break either way).
+	for i := 1; i < len(freq); i++ {
+		if freq[i-1] > freq[i] && h.CodeLen(i-1) > h.CodeLen(i) {
+			t.Fatalf("freq %g has code len %d but freq %g has %d",
+				freq[i-1], h.CodeLen(i-1), freq[i], h.CodeLen(i))
+		}
+	}
+}
+
+func isPrefix(a, b []bool) bool {
+	if len(a) > len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestHuffmanKraftEquality(t *testing.T) {
+	// A full binary Huffman tree satisfies Σ 2^(-len) = 1 exactly.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(30)
+		freq := make([]float64, n)
+		for i := range freq {
+			freq[i] = rng.Float64() + 0.01
+		}
+		h := NewHSoftmax(freq, 2, rng)
+		var kraft float64
+		for i := range freq {
+			kraft += math.Pow(2, -float64(h.CodeLen(i)))
+		}
+		return math.Abs(kraft-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHSoftmaxSeparatesClusters(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	paths := twoClusterCorpus(rng, 60, 12)
+	m := NewModel(6, 16, rng)
+	h := NewHSoftmax(CorpusFrequencies(paths, 6), 16, rng)
+	for epoch := 0; epoch < 10; epoch++ {
+		lr := 0.05 * (1 - float64(epoch)/10)
+		h.TrainCorpus(m, paths, SymmetricOffsets(2), lr)
+	}
+	intra := mat.CosineSim(m.In.Row(0), m.In.Row(2))
+	inter := mat.CosineSim(m.In.Row(0), m.In.Row(5))
+	if intra <= inter {
+		t.Fatalf("hsoftmax intra %.4f should exceed inter %.4f", intra, inter)
+	}
+}
+
+func TestHSoftmaxLossDecreases(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	paths := twoClusterCorpus(rng, 40, 10)
+	m := NewModel(6, 8, rng)
+	h := NewHSoftmax(CorpusFrequencies(paths, 6), 8, rng)
+	first := h.TrainCorpus(m, paths, SymmetricOffsets(1), 0.05)
+	var last float64
+	for i := 0; i < 10; i++ {
+		last = h.TrainCorpus(m, paths, SymmetricOffsets(1), 0.05)
+	}
+	if last >= first {
+		t.Fatalf("hsoftmax loss did not decrease: %.4f → %.4f", first, last)
+	}
+}
+
+func TestNewHSoftmaxPanicsOnTiny(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewHSoftmax([]float64{1}, 2, rand.New(rand.NewSource(9)))
+}
+
+func TestModelDim(t *testing.T) {
+	m := NewModel(3, 7, rand.New(rand.NewSource(10)))
+	if m.Dim() != 7 {
+		t.Fatalf("Dim = %d", m.Dim())
+	}
+	if m.In.R != 3 || m.Out.R != 3 {
+		t.Fatal("wrong table shapes")
+	}
+	if m.Out.MaxAbs() != 0 {
+		t.Fatal("Out must start at zero")
+	}
+}
+
+func BenchmarkSGNSPass(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	paths := twoClusterCorpus(rng, 50, 40)
+	m := NewModel(6, 64, rng)
+	s := NewNegSampler(CorpusFrequencies(paths, 6))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.TrainCorpus(paths, SymmetricOffsets(2), 5, 0.025, s, rng)
+	}
+}
+
+func TestTrainCorpusSkipsSelfPairs(t *testing.T) {
+	// A path that revisits the same node must not generate center==context
+	// updates (they carry no proximity information and inflate norms).
+	rng := rand.New(rand.NewSource(11))
+	m := NewModel(2, 4, rng)
+	s := NewNegSampler([]float64{1, 1})
+	// Path of all-identical nodes: every in-window pair is a self-pair.
+	loss := m.TrainCorpus([][]int{{0, 0, 0, 0}}, SymmetricOffsets(1), 2, 0.1, s, rng)
+	if loss != 0 {
+		t.Fatalf("self-pair corpus should produce zero pairs, got loss %v", loss)
+	}
+}

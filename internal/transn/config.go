@@ -1,0 +1,172 @@
+// Package transn implements the paper's TransN framework (Section III):
+// view separation, the single-view skip-gram algorithm over biased
+// correlated random walks, and the cross-view dual-learning algorithm
+// that translates node embeddings between views with stacks of
+// self-attention + feed-forward encoders. Algorithm 1 interleaves both
+// per iteration; the final embedding of a node is the average of its
+// view-specific embeddings.
+package transn
+
+import "fmt"
+
+// CrossLoss selects how translation/reconstruction similarity is scored.
+type CrossLoss int
+
+const (
+	// LossMSE scores similarity as mean squared error between translated
+	// and target matrices. This is the default: it implements the stated
+	// goal of Eqs. 11–14 ("the translated matrix is similar to the
+	// target") with a well-posed optimum. See DESIGN.md §2.
+	LossMSE CrossLoss = iota
+	// LossInnerProduct is the literal Eq. 11–14 objective: the mean
+	// elementwise product of the two matrices, following the paper's
+	// footnote that "the inner product value of two vectors is low when
+	// they are similar". Kept for ablation; unbounded below, so pair it
+	// with small iteration counts.
+	LossInnerProduct
+)
+
+// Config holds TransN hyperparameters. Zero values are replaced by
+// defaults from the paper (Section IV-A3) scaled to laptop-size inputs.
+type Config struct {
+	// Dim is the embedding dimensionality d (paper: 128).
+	Dim int
+	// WalkLength is the single-view walk length ρ (paper: 80).
+	WalkLength int
+	// MinWalksPerNode / MaxWalksPerNode bound the per-node path count
+	// max(min(degree, Max), Min) (paper: 10 / 32).
+	MinWalksPerNode int
+	MaxWalksPerNode int
+	// Iterations is K, the outer loop count of Algorithm 1.
+	Iterations int
+	// NegativeSamples per positive pair in the single-view estimator.
+	NegativeSamples int
+	// LRSingle is γ_single (paper initial rate: 0.025).
+	LRSingle float64
+	// LRCross is γ_cross for embeddings updated by the cross-view
+	// algorithm; translator parameters use Adam at the same rate.
+	LRCross float64
+	// Encoders is H, the number of (self-attention, feed-forward)
+	// encoder blocks per translator (paper: 6).
+	Encoders int
+	// CrossPathLen is the fixed length of common-node paths fed to
+	// translators. The paper's W ∈ R^{|λ|×|λ|} requires a fixed |λ|;
+	// filtered paths are cut into segments of exactly this length.
+	CrossPathLen int
+	// CrossPathsPerPair is T, the number of path pairs sampled per
+	// view-pair per iteration.
+	CrossPathsPerPair int
+	// Loss selects the cross-view similarity objective.
+	Loss CrossLoss
+	// Seed drives all randomness; the same seed reproduces the same
+	// embeddings exactly.
+	Seed int64
+	// Parallel trains the single-view algorithm of each view in its own
+	// goroutine. Views are disjoint parameter sets, so this is safe; each
+	// view gets an independent RNG derived from Seed, so results remain
+	// deterministic (though different from the sequential schedule).
+	Parallel bool
+
+	// Ablation switches (Table V).
+	NoCrossView      bool // TransN-Without-Cross-View
+	SimpleWalk       bool // TransN-With-Simple-Walk
+	SimpleTranslator bool // TransN-With-Simple-Translator
+	NoTranslation    bool // TransN-Without-Translation-Tasks
+	NoReconstruction bool // TransN-Without-Reconstruction-Tasks
+}
+
+// DefaultConfig returns the paper's hyperparameters scaled for synthetic
+// laptop-size networks: d=64, ρ=40, H=2 encoders, 5 iterations.
+func DefaultConfig() Config {
+	return Config{
+		Dim:               64,
+		WalkLength:        40,
+		MinWalksPerNode:   10,
+		MaxWalksPerNode:   32,
+		Iterations:        5,
+		NegativeSamples:   5,
+		LRSingle:          0.025,
+		LRCross:           0.025,
+		Encoders:          2,
+		CrossPathLen:      8,
+		CrossPathsPerPair: 200,
+		Seed:              1,
+	}
+}
+
+// PaperConfig returns the unscaled hyperparameters of Section IV-A3:
+// d=128, ρ=80, H=6. Expensive; provided for completeness.
+func PaperConfig() Config {
+	c := DefaultConfig()
+	c.Dim = 128
+	c.WalkLength = 80
+	c.Encoders = 6
+	c.Iterations = 10
+	return c
+}
+
+// withDefaults fills zero fields from DefaultConfig.
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.Dim == 0 {
+		c.Dim = d.Dim
+	}
+	if c.WalkLength == 0 {
+		c.WalkLength = d.WalkLength
+	}
+	if c.MinWalksPerNode == 0 {
+		c.MinWalksPerNode = d.MinWalksPerNode
+	}
+	if c.MaxWalksPerNode == 0 {
+		c.MaxWalksPerNode = d.MaxWalksPerNode
+	}
+	if c.Iterations == 0 {
+		c.Iterations = d.Iterations
+	}
+	if c.NegativeSamples == 0 {
+		c.NegativeSamples = d.NegativeSamples
+	}
+	if c.LRSingle == 0 {
+		c.LRSingle = d.LRSingle
+	}
+	if c.LRCross == 0 {
+		c.LRCross = d.LRCross
+	}
+	if c.Encoders == 0 {
+		c.Encoders = d.Encoders
+	}
+	if c.CrossPathLen == 0 {
+		c.CrossPathLen = d.CrossPathLen
+	}
+	if c.CrossPathsPerPair == 0 {
+		c.CrossPathsPerPair = d.CrossPathsPerPair
+	}
+	if c.Seed == 0 {
+		c.Seed = d.Seed
+	}
+	return c
+}
+
+// Validate rejects configurations that cannot train.
+func (c Config) Validate() error {
+	if c.Dim < 1 {
+		return fmt.Errorf("transn: Dim must be positive, got %d", c.Dim)
+	}
+	if c.WalkLength < 2 {
+		return fmt.Errorf("transn: WalkLength must be at least 2, got %d", c.WalkLength)
+	}
+	if c.CrossPathLen < 2 {
+		return fmt.Errorf("transn: CrossPathLen must be at least 2, got %d", c.CrossPathLen)
+	}
+	if c.Encoders < 1 {
+		return fmt.Errorf("transn: Encoders must be positive, got %d", c.Encoders)
+	}
+	if c.MinWalksPerNode > c.MaxWalksPerNode {
+		return fmt.Errorf("transn: MinWalksPerNode %d > MaxWalksPerNode %d",
+			c.MinWalksPerNode, c.MaxWalksPerNode)
+	}
+	if c.NoTranslation && c.NoReconstruction && !c.NoCrossView {
+		return fmt.Errorf("transn: disabling both cross-view tasks leaves nothing to train; set NoCrossView instead")
+	}
+	return nil
+}

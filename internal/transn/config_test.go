@@ -1,0 +1,63 @@
+package transn
+
+import "testing"
+
+func TestDefaultConfigValid(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	if err := PaperConfig().Validate(); err != nil {
+		t.Fatalf("paper config invalid: %v", err)
+	}
+}
+
+func TestPaperConfigMatchesSectionIVA3(t *testing.T) {
+	c := PaperConfig()
+	if c.Dim != 128 {
+		t.Fatalf("paper d = %d want 128", c.Dim)
+	}
+	if c.WalkLength != 80 {
+		t.Fatalf("paper ρ = %d want 80", c.WalkLength)
+	}
+	if c.Encoders != 6 {
+		t.Fatalf("paper H = %d want 6", c.Encoders)
+	}
+	if c.MinWalksPerNode != 10 || c.MaxWalksPerNode != 32 {
+		t.Fatalf("paper walk counts %d/%d want 10/32", c.MinWalksPerNode, c.MaxWalksPerNode)
+	}
+	if c.LRSingle != 0.025 {
+		t.Fatalf("paper initial rate %v want 0.025", c.LRSingle)
+	}
+}
+
+func TestWithDefaultsFillsZeroes(t *testing.T) {
+	var c Config
+	c = c.withDefaults()
+	if err := c.Validate(); err != nil {
+		t.Fatalf("zero config after defaults invalid: %v", err)
+	}
+	// Non-zero values survive.
+	c2 := Config{Dim: 7}.withDefaults()
+	if c2.Dim != 7 {
+		t.Fatal("withDefaults overwrote a set field")
+	}
+}
+
+func TestValidateRejectsBadCrossPathLen(t *testing.T) {
+	c := DefaultConfig()
+	c.CrossPathLen = 1
+	if err := c.Validate(); err == nil {
+		t.Fatal("expected rejection of CrossPathLen 1")
+	}
+	c = DefaultConfig()
+	c.WalkLength = 1
+	if err := c.Validate(); err == nil {
+		t.Fatal("expected rejection of WalkLength 1")
+	}
+	c = DefaultConfig()
+	c.Encoders = 0
+	c.Dim = 8 // keep other fields valid
+	if err := c.Validate(); err == nil {
+		t.Fatal("expected rejection of zero encoders")
+	}
+}

@@ -1,0 +1,213 @@
+package transn
+
+import (
+	"math"
+
+	"transn/internal/autodiff"
+	"transn/internal/graph"
+	"transn/internal/mat"
+	"transn/internal/walk"
+)
+
+// crossViewStep runs one cross-view pass for view-pair pi (Algorithm 1
+// lines 8–12): it samples common-node path segments from both
+// paired-subviews and optimizes the translation tasks T1/T2 (Eqs. 11–12)
+// and reconstruction tasks R1/R2 (Eqs. 13–14). It returns the mean
+// segment loss.
+func (m *Model) crossViewStep(pi int) float64 {
+	pr := m.pairs[pi]
+	var total float64
+	var count int
+	// Side 0: paths from φ'_i, translator T_{i→j} forward; side 1: the
+	// dual direction.
+	for side := 0; side < 2; side++ {
+		src, dst := pr.I, pr.J
+		fwd, bwd := m.trans[pi][0], m.trans[pi][1]
+		if side == 1 {
+			src, dst = pr.J, pr.I
+			fwd, bwd = m.trans[pi][1], m.trans[pi][0]
+		}
+		segs := m.sampleCommonSegments(pi, side)
+		for _, seg := range segs {
+			total += m.trainSegment(seg, src, dst, fwd, bwd)
+			count++
+		}
+	}
+	if count == 0 {
+		return 0
+	}
+	return total / float64(count)
+}
+
+// sampleCommonSegments samples walks from the paired-subview of the given
+// side, removes nodes not shared by both subviews (Section III-B1), and
+// cuts the remainder into segments of exactly CrossPathLen global IDs.
+// It keeps sampling until CrossPathsPerPair segments are collected or a
+// sampling budget is exhausted (sparse overlaps may not support the full
+// quota).
+func (m *Model) sampleCommonSegments(pi, side int) [][]graph.NodeID {
+	sub := m.subviews[pi][side]
+	other := m.subviews[pi][1-side]
+	walker := m.subWalkers[pi][side]
+	want := m.Cfg.CrossPathsPerPair
+	L := m.Cfg.CrossPathLen
+	var segs [][]graph.NodeID
+	if sub.NumNodes() == 0 {
+		return nil
+	}
+	budget := want * 8
+	for len(segs) < want && budget > 0 {
+		budget--
+		start := m.rng.Intn(sub.NumNodes())
+		p := walker.Walk(sub, start, m.Cfg.WalkLength, m.rng)
+		// Keep only nodes present in both subviews.
+		var shared []graph.NodeID
+		for _, l := range p {
+			gid := sub.Global(l)
+			if other.Contains(gid) {
+				shared = append(shared, gid)
+			}
+		}
+		for len(shared) >= L && len(segs) < want {
+			segs = append(segs, shared[:L])
+			shared = shared[L:]
+		}
+	}
+	return segs
+}
+
+// trainSegment optimizes the dual-learning objective on one segment of
+// common nodes: translation src→dst scored against the dst-view
+// embeddings of the same nodes, plus reconstruction src→dst→src scored
+// against the original src-view embeddings. Gradients update both
+// translators (Adam) and the touched embedding rows in both views (SGD
+// with γ_cross), matching Θ_cross of Algorithm 1.
+func (m *Model) trainSegment(seg []graph.NodeID, src, dst int, fwd, bwd *Translator) float64 {
+	srcView, dstView := m.views[src], m.views[dst]
+	srcEmb, dstEmb := m.emb[src], m.emb[dst]
+	L, d := len(seg), m.Cfg.Dim
+
+	// Gather embedding rows into path matrices (copies; gradients are
+	// scattered back after Backward).
+	A := mat.New(L, d)    // src-view embeddings of the segment
+	Atgt := mat.New(L, d) // dst-view embeddings of the segment
+	srcLoc := make([]int, L)
+	dstLoc := make([]int, L)
+	for k, gid := range seg {
+		srcLoc[k] = srcView.Local(gid)
+		dstLoc[k] = dstView.Local(gid)
+		A.SetRow(k, srcEmb.In.Row(srcLoc[k]))
+		Atgt.SetRow(k, dstEmb.In.Row(dstLoc[k]))
+	}
+
+	tp := autodiff.NewTape()
+	tA := tp.Param(A)
+	tB := tp.Param(Atgt)
+	// Both sides' embeddings are in Θ_cross (Algorithm 1). The loss
+	// compares layer-normalized matrices — the translator output is
+	// already layer-normed, and targets pass through the same normalizer
+	// — so the objective acts on embedding *directions*; scale is owned
+	// by the single-view objective. Because the gradient reaching the
+	// target flows back through a trainable translator on the source
+	// side, the two views are pulled into *correlated* (mutually
+	// predictable) configurations rather than forced equality, which is
+	// the paper's stated goal (Section I, challenge 2). This alignment
+	// is also what makes the final view-averaged embedding (Section
+	// III-C) coherent: averaging mutually unaligned spaces cancels
+	// signal.
+	tTgt := tp.LayerNormRows(tB)
+
+	var loss *autodiff.Tensor
+	translated := fwd.Apply(tp, tA)
+	if !m.Cfg.NoTranslation {
+		loss = m.similarityLoss(tp, translated, tTgt)
+	}
+	if !m.Cfg.NoReconstruction {
+		recon := bwd.Apply(tp, translated)
+		rl := m.similarityLoss(tp, recon, tp.LayerNormRows(tA))
+		if loss == nil {
+			loss = rl
+		} else {
+			loss = tp.Add(loss, rl)
+		}
+	}
+	if loss == nil {
+		fwd.DiscardGrads()
+		bwd.DiscardGrads()
+		return 0
+	}
+	tp.Backward(loss)
+
+	// Scatter embedding gradients (SGD at γ_cross), unless this is the
+	// translator warm-up iteration.
+	if m.crossEmbedUpdates {
+		lr := m.Cfg.LRCross
+		for k := range seg {
+			row := srcEmb.In.Row(srcLoc[k])
+			g := tA.Grad.Row(k)
+			for i := range row {
+				row[i] -= lr * g[i]
+			}
+			row = dstEmb.In.Row(dstLoc[k])
+			g = tB.Grad.Row(k)
+			for i := range row {
+				row[i] -= lr * g[i]
+			}
+		}
+	}
+	// Translator parameter updates. When reconstruction is disabled the
+	// backward translator never ran; discard its (empty) records.
+	fwd.Step()
+	if m.Cfg.NoReconstruction {
+		bwd.DiscardGrads()
+	} else {
+		bwd.Step()
+	}
+	return loss.Value.At(0, 0)
+}
+
+// similarityLoss scores how close translated is to target under the
+// configured objective. Both losses follow the paper's Eq. 11–14
+// normalization: the double sum over path positions and dimensions is
+// divided by |λ| only (not by |λ|·d), which keeps per-element gradients
+// large enough to matter against the single-view updates.
+func (m *Model) similarityLoss(tp *autodiff.Tape, translated, target *autodiff.Tensor) *autodiff.Tensor {
+	invL := 1 / float64(translated.Value.R)
+	switch m.Cfg.Loss {
+	case LossInnerProduct:
+		// Literal Eqs. 11–14: the paper's footnote treats a low inner
+		// product as "similar", so the raw sum is minimized directly.
+		return tp.Scale(invL, tp.SumAll(tp.ElemMul(translated, target)))
+	default:
+		d := tp.Sub(translated, target)
+		return tp.Scale(invL, tp.SumAll(tp.ElemMul(d, d)))
+	}
+}
+
+// walkerFor exposes the view walker type for tests.
+func (m *Model) walkerFor(vi int) walk.Walker { return m.walkers[vi] }
+
+// normalizeRows rescales each row of x in place to zero mean and unit
+// variance (matching LayerNormRows), returning x.
+func normalizeRows(x *mat.Dense) *mat.Dense {
+	const eps = 1e-5
+	for i := 0; i < x.R; i++ {
+		row := x.Row(i)
+		var mean float64
+		for _, v := range row {
+			mean += v
+		}
+		mean /= float64(len(row))
+		var varr float64
+		for _, v := range row {
+			d := v - mean
+			varr += d * d
+		}
+		varr /= float64(len(row))
+		is := 1 / math.Sqrt(varr+eps)
+		for j := range row {
+			row[j] = (row[j] - mean) * is
+		}
+	}
+	return x
+}

@@ -1,0 +1,84 @@
+package transn
+
+import (
+	"testing"
+
+	"transn/internal/graph"
+	"transn/internal/mat"
+)
+
+func TestInferNodePlacesNearNeighbors(t *testing.T) {
+	g := socialGraph(t, 12, 6, 41)
+	cfg := quickCfg()
+	cfg.Iterations = 5
+	m, err := Train(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	emb := m.Embeddings()
+
+	// Fold in a "new user" attached to three group-0 users via UU edges.
+	var group0 []graph.NodeID
+	var group1 []graph.NodeID
+	for _, id := range g.LabeledNodes() {
+		if g.Label(id) == 0 {
+			group0 = append(group0, id)
+		} else {
+			group1 = append(group1, id)
+		}
+	}
+	uu := graph.EdgeType(0)
+	edges := []NeighborEdge{
+		{Neighbor: group0[0], Type: uu, Weight: 1},
+		{Neighbor: group0[1], Type: uu, Weight: 1},
+		{Neighbor: group0[2], Type: uu, Weight: 1},
+	}
+	vec, err := m.InferNode(edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vec) != cfg.Dim {
+		t.Fatalf("inferred dim %d want %d", len(vec), cfg.Dim)
+	}
+	// The inferred node should be closer to group 0 than group 1.
+	sim := func(ids []graph.NodeID) float64 {
+		var s float64
+		for _, id := range ids {
+			s += mat.CosineSim(vec, emb.Row(int(id)))
+		}
+		return s / float64(len(ids))
+	}
+	if sim(group0) <= sim(group1) {
+		t.Fatalf("inferred node not near its neighbors: g0 %.4f g1 %.4f",
+			sim(group0), sim(group1))
+	}
+}
+
+func TestInferNodeErrors(t *testing.T) {
+	g := socialGraph(t, 8, 4, 42)
+	m, err := Train(g, quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.InferNode(nil); err == nil {
+		t.Fatal("expected error for no edges")
+	}
+	if _, err := m.InferNode([]NeighborEdge{{Neighbor: 0, Type: 99, Weight: 1}}); err == nil {
+		t.Fatal("expected error for unknown edge type")
+	}
+	if _, err := m.InferNode([]NeighborEdge{{Neighbor: 0, Type: 0, Weight: 0}}); err == nil {
+		t.Fatal("expected error for zero weight")
+	}
+	// Neighbor not present in the view of the given type: keyword nodes
+	// are absent from the UU view.
+	var kw graph.NodeID = -1
+	for _, n := range g.Nodes {
+		if g.NodeTypeNames[n.Type] == "keyword" {
+			kw = n.ID
+			break
+		}
+	}
+	if _, err := m.InferNode([]NeighborEdge{{Neighbor: kw, Type: 0, Weight: 1}}); err == nil {
+		t.Fatal("expected error for neighbor outside the view")
+	}
+}

@@ -1,0 +1,265 @@
+package transn
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"transn/internal/graph"
+	"transn/internal/mat"
+	"transn/internal/skipgram"
+	"transn/internal/walk"
+)
+
+// Model is a trained TransN instance. Construct one with Train.
+type Model struct {
+	Cfg   Config
+	Graph *graph.Graph
+
+	views []*graph.View
+	pairs []graph.ViewPair
+	// subviews[p] are the paired-subviews (φ'_i, φ'_j) of pairs[p].
+	subviews [][2]*graph.View
+	// emb[v] holds view v's view-specific node embeddings (local index).
+	emb []*skipgram.Model
+	// samplers[v] draws negatives inside view v.
+	samplers []*skipgram.NegSampler
+	// walkers[v] samples single-view paths in view v.
+	walkers []walk.Walker
+	// viewRngs[v] is view v's private RNG under Config.Parallel.
+	viewRngs []*rand.Rand
+	// subWalkers[p] sample cross-view paths in each paired-subview.
+	subWalkers [][2]walk.Walker
+	// trans[p] = {T_{i→j}, T_{j→i}} for pairs[p].
+	trans [][2]*Translator
+
+	rng *rand.Rand
+
+	// crossEmbedUpdates gates embedding updates in the cross-view step:
+	// during the first iteration only the translators train (warm-up),
+	// so embeddings receive gradients through an already-meaningful map.
+	crossEmbedUpdates bool
+
+	// History records per-iteration mean losses for diagnostics.
+	History []IterStats
+}
+
+// IterStats captures one Algorithm 1 iteration's diagnostics.
+type IterStats struct {
+	Iteration  int
+	SingleLoss float64 // mean skip-gram pair loss across views
+	CrossLoss  float64 // mean cross-view segment loss across pairs
+}
+
+// Train runs Algorithm 1 on g and returns the trained model.
+func Train(g *graph.Graph, cfg Config) (*Model, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	m := &Model{
+		Cfg:   cfg,
+		Graph: g,
+		views: g.Views(),
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+	}
+	if len(m.views) == 0 {
+		return nil, fmt.Errorf("transn: graph has no edge types, nothing to train")
+	}
+	m.initViews()
+	if !cfg.NoCrossView {
+		m.initPairs()
+	}
+	for iter := 0; iter < cfg.Iterations; iter++ {
+		frac := float64(iter) / float64(cfg.Iterations)
+		lrS := cfg.LRSingle * (1 - frac)
+		if lrS < cfg.LRSingle*1e-4 {
+			lrS = cfg.LRSingle * 1e-4
+		}
+		var st IterStats
+		st.Iteration = iter
+		losses := make([]float64, len(m.views))
+		active := make([]bool, len(m.views))
+		if cfg.Parallel {
+			var wg sync.WaitGroup
+			for vi := range m.views {
+				if m.views[vi].NumNodes() == 0 {
+					continue
+				}
+				active[vi] = true
+				wg.Add(1)
+				go func(vi int) {
+					defer wg.Done()
+					losses[vi] = m.singleViewStep(vi, lrS, m.viewRngs[vi])
+				}(vi)
+			}
+			wg.Wait()
+		} else {
+			for vi := range m.views {
+				if m.views[vi].NumNodes() == 0 {
+					continue
+				}
+				active[vi] = true
+				losses[vi] = m.singleViewStep(vi, lrS, m.rng)
+			}
+		}
+		var sum float64
+		var n int
+		for vi, ok := range active {
+			if ok {
+				sum += losses[vi]
+				n++
+			}
+		}
+		if n > 0 {
+			st.SingleLoss = sum / float64(n)
+		}
+		if !cfg.NoCrossView && len(m.pairs) > 0 {
+			m.crossEmbedUpdates = iter > 0 || cfg.Iterations == 1
+			var csum float64
+			for pi := range m.pairs {
+				csum += m.crossViewStep(pi)
+			}
+			st.CrossLoss = csum / float64(len(m.pairs))
+		}
+		m.History = append(m.History, st)
+	}
+	return m, nil
+}
+
+// initViews builds per-view embeddings, negative samplers and walkers.
+func (m *Model) initViews() {
+	m.emb = make([]*skipgram.Model, len(m.views))
+	m.samplers = make([]*skipgram.NegSampler, len(m.views))
+	m.walkers = make([]walk.Walker, len(m.views))
+	if m.Cfg.Parallel {
+		m.viewRngs = make([]*rand.Rand, len(m.views))
+		for i := range m.viewRngs {
+			m.viewRngs[i] = rand.New(rand.NewSource(m.Cfg.Seed*1000003 + int64(i)))
+		}
+	}
+	for i, v := range m.views {
+		if v.NumNodes() == 0 {
+			continue
+		}
+		m.emb[i] = skipgram.NewModel(v.NumNodes(), m.Cfg.Dim, m.rng)
+		freq := make([]float64, v.NumNodes())
+		for l := range freq {
+			freq[l] = v.WeightedDegree(l)
+		}
+		m.samplers[i] = skipgram.NewNegSampler(freq)
+		if m.Cfg.SimpleWalk {
+			m.walkers[i] = walk.Simple{}
+		} else {
+			m.walkers[i] = walk.NewCorrelated(v)
+		}
+	}
+}
+
+// initPairs builds view-pairs, paired-subviews, their walkers, and the
+// two translators per pair.
+func (m *Model) initPairs() {
+	m.pairs = m.Graph.ViewPairs()
+	m.subviews = make([][2]*graph.View, len(m.pairs))
+	m.subWalkers = make([][2]walk.Walker, len(m.pairs))
+	m.trans = make([][2]*Translator, len(m.pairs))
+	for p, pr := range m.pairs {
+		si := graph.PairedSubview(m.views[pr.I], pr.Common)
+		sj := graph.PairedSubview(m.views[pr.J], pr.Common)
+		m.subviews[p] = [2]*graph.View{si, sj}
+		m.subWalkers[p] = [2]walk.Walker{walk.NewCorrelated(si), walk.NewCorrelated(sj)}
+		m.trans[p] = [2]*Translator{
+			NewTranslator(m.Cfg.Encoders, m.Cfg.CrossPathLen, m.Cfg.SimpleTranslator, m.Cfg.LRCross, m.rng),
+			NewTranslator(m.Cfg.Encoders, m.Cfg.CrossPathLen, m.Cfg.SimpleTranslator, m.Cfg.LRCross, m.rng),
+		}
+	}
+}
+
+// singleViewStep runs one skip-gram pass over fresh walks from view vi
+// (Algorithm 1 lines 3–7) using rng, and returns the mean pair loss.
+func (m *Model) singleViewStep(vi int, lr float64, rng *rand.Rand) float64 {
+	v := m.views[vi]
+	cfg := walk.CorpusConfig{
+		WalkLength:      m.Cfg.WalkLength,
+		MinWalksPerNode: m.Cfg.MinWalksPerNode,
+		MaxWalksPerNode: m.Cfg.MaxWalksPerNode,
+	}
+	var paths [][]int
+	if m.Cfg.SimpleWalk {
+		// Ablation: uniformly random starting nodes, weights ignored.
+		total := 0
+		for l := 0; l < v.NumNodes(); l++ {
+			total += cfg.WalksFor(v.Degree(l))
+		}
+		for i := 0; i < total; i++ {
+			p := m.walkers[vi].Walk(v, rng.Intn(v.NumNodes()), cfg.WalkLength, rng)
+			if len(p) >= 2 {
+				paths = append(paths, p)
+			}
+		}
+	} else {
+		paths = walk.Corpus(v, m.walkers[vi], cfg, rng)
+	}
+	offsets := skipgram.ContextOffsets(v.Hetero)
+	return m.emb[vi].TrainCorpus(paths, offsets, m.Cfg.NegativeSamples, lr, m.samplers[vi], rng)
+}
+
+// Embeddings returns the final node embeddings: one row per global node,
+// each the average of the node's view-specific embeddings (Section
+// III-C). Nodes absent from every view get a zero row.
+func (m *Model) Embeddings() *mat.Dense {
+	out := mat.New(m.Graph.NumNodes(), m.Cfg.Dim)
+	counts := make([]int, m.Graph.NumNodes())
+	for vi, v := range m.views {
+		if m.emb[vi] == nil {
+			continue
+		}
+		for l := 0; l < v.NumNodes(); l++ {
+			gid := v.Global(l)
+			row := out.Row(int(gid))
+			src := m.emb[vi].In.Row(l)
+			for d := range row {
+				row[d] += src[d]
+			}
+			counts[gid]++
+		}
+	}
+	for i, c := range counts {
+		if c > 1 {
+			row := out.Row(i)
+			inv := 1 / float64(c)
+			for d := range row {
+				row[d] *= inv
+			}
+		}
+	}
+	return out
+}
+
+// ViewEmbedding exposes view vi's view-specific embedding of global node
+// id, or nil when the node is not in the view. Used by tests and by the
+// cross-view inspection tooling.
+func (m *Model) ViewEmbedding(vi int, id graph.NodeID) []float64 {
+	v := m.views[vi]
+	l := v.Local(id)
+	if l < 0 || m.emb[vi] == nil {
+		return nil
+	}
+	return m.emb[vi].In.Row(l)
+}
+
+// Views returns the model's views (one per edge type).
+func (m *Model) Views() []*graph.View { return m.views }
+
+// ViewPairs returns the view-pairs the cross-view algorithm trained on
+// (empty under the NoCrossView ablation).
+func (m *Model) ViewPairs() []graph.ViewPair { return m.pairs }
+
+// Translators returns the translator pair {T_i→j, T_j→i} for pair index
+// p, or nil under the NoCrossView ablation.
+func (m *Model) Translators(p int) [2]*Translator {
+	if m.trans == nil {
+		return [2]*Translator{}
+	}
+	return m.trans[p]
+}

@@ -1,0 +1,137 @@
+package transn
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"transn/internal/graph"
+	"transn/internal/mat"
+	"transn/internal/skipgram"
+)
+
+// persistedModel is the gob wire format of a trained model. It stores
+// the configuration, per-view embedding tables and translator weights;
+// the graph itself is not stored — Load re-derives views from the graph
+// the caller supplies, which must be identical to the training graph.
+type persistedModel struct {
+	Version int
+	Cfg     Config
+	// Per view: nil entries mark empty views.
+	EmbIn  []*matBlob
+	EmbOut []*matBlob
+	// Per pair, two translators, each a W/B list.
+	TransW [][2][]*matBlob
+	TransB [][2][]*matBlob
+	Simple bool
+}
+
+// matBlob is a gob-friendly matrix.
+type matBlob struct {
+	R, C int
+	Data []float64
+}
+
+func toBlob(m *mat.Dense) *matBlob {
+	if m == nil {
+		return nil
+	}
+	return &matBlob{R: m.R, C: m.C, Data: append([]float64(nil), m.Data...)}
+}
+
+func fromBlob(b *matBlob) *mat.Dense {
+	if b == nil {
+		return nil
+	}
+	return mat.FromSlice(b.R, b.C, append([]float64(nil), b.Data...))
+}
+
+// Save serializes the trained model to w. The graph is not included;
+// pass the same graph to Load.
+func (m *Model) Save(w io.Writer) error {
+	pm := persistedModel{Version: 1, Cfg: m.Cfg}
+	for _, e := range m.emb {
+		if e == nil {
+			pm.EmbIn = append(pm.EmbIn, nil)
+			pm.EmbOut = append(pm.EmbOut, nil)
+			continue
+		}
+		pm.EmbIn = append(pm.EmbIn, toBlob(e.In))
+		pm.EmbOut = append(pm.EmbOut, toBlob(e.Out))
+	}
+	for _, pair := range m.trans {
+		var w2, b2 [2][]*matBlob
+		for side := 0; side < 2; side++ {
+			if pair[side] == nil {
+				continue
+			}
+			for _, wm := range pair[side].Ws {
+				w2[side] = append(w2[side], toBlob(wm))
+			}
+			for _, bm := range pair[side].Bs {
+				b2[side] = append(b2[side], toBlob(bm))
+			}
+			pm.Simple = pair[side].Simple
+		}
+		pm.TransW = append(pm.TransW, w2)
+		pm.TransB = append(pm.TransB, b2)
+	}
+	return gob.NewEncoder(w).Encode(&pm)
+}
+
+// Load reconstructs a model saved with Save. g must be the graph the
+// model was trained on (same nodes, edges and types); view shapes are
+// validated against the stored tables.
+func Load(r io.Reader, g *graph.Graph) (*Model, error) {
+	var pm persistedModel
+	if err := gob.NewDecoder(r).Decode(&pm); err != nil {
+		return nil, fmt.Errorf("transn: decoding model: %w", err)
+	}
+	if pm.Version != 1 {
+		return nil, fmt.Errorf("transn: unsupported model version %d", pm.Version)
+	}
+	m := &Model{Cfg: pm.Cfg, Graph: g, views: g.Views()}
+	if len(pm.EmbIn) != len(m.views) {
+		return nil, fmt.Errorf("transn: model has %d views, graph has %d",
+			len(pm.EmbIn), len(m.views))
+	}
+	for vi, v := range m.views {
+		in := fromBlob(pm.EmbIn[vi])
+		out := fromBlob(pm.EmbOut[vi])
+		if in == nil {
+			m.emb = append(m.emb, nil)
+			continue
+		}
+		if in.R != v.NumNodes() {
+			return nil, fmt.Errorf("transn: view %d has %d nodes, stored table has %d rows",
+				vi, v.NumNodes(), in.R)
+		}
+		m.emb = append(m.emb, &skipgram.Model{In: in, Out: out})
+	}
+	// Translators (pairs are re-derived from the graph in order).
+	if len(pm.TransW) > 0 {
+		m.pairs = g.ViewPairs()
+		if len(m.pairs) != len(pm.TransW) {
+			return nil, fmt.Errorf("transn: model has %d view-pairs, graph has %d",
+				len(pm.TransW), len(m.pairs))
+		}
+		for p := range pm.TransW {
+			var pair [2]*Translator
+			for side := 0; side < 2; side++ {
+				if len(pm.TransW[p][side]) == 0 {
+					continue
+				}
+				t := &Translator{Simple: pm.Simple}
+				for _, wb := range pm.TransW[p][side] {
+					t.Ws = append(t.Ws, fromBlob(wb))
+				}
+				for _, bb := range pm.TransB[p][side] {
+					t.Bs = append(t.Bs, fromBlob(bb))
+				}
+				pair[side] = t
+			}
+			m.trans = append(m.trans, pair)
+		}
+	}
+	return m, nil
+}

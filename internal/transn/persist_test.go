@@ -1,0 +1,77 @@
+package transn
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"transn/internal/mat"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	g := socialGraph(t, 10, 5, 21)
+	m, err := Train(g, quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Load(&buf, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Embeddings().Equal(m2.Embeddings(), 0) {
+		t.Fatal("loaded embeddings differ from saved")
+	}
+	// View embeddings survive.
+	id := m.Views()[0].Global(0)
+	a := m.ViewEmbedding(0, id)
+	b := m2.ViewEmbedding(0, id)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("view embedding mismatch after load")
+		}
+	}
+	// Translators survive: same forward output on an arbitrary segment.
+	if len(m.ViewPairs()) > 0 {
+		tr1 := m.Translators(0)[0]
+		tr2 := m2.Translators(0)[0]
+		if tr1 == nil || tr2 == nil {
+			t.Fatal("missing translator after load")
+		}
+		L := tr1.PathLen()
+		src := m.emb[0].In
+		seg := mat.New(L, src.C)
+		for k := 0; k < L; k++ {
+			seg.SetRow(k, src.Row(k%src.R))
+		}
+		if !tr1.Translate(seg).Equal(tr2.Translate(seg), 0) {
+			t.Fatal("translator outputs differ after load")
+		}
+	}
+}
+
+func TestLoadRejectsWrongGraph(t *testing.T) {
+	g := socialGraph(t, 10, 5, 22)
+	m, err := Train(g, quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	other := socialGraph(t, 14, 5, 23) // different node count
+	if _, err := Load(&buf, other); err == nil {
+		t.Fatal("expected rejection of mismatched graph")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	g := socialGraph(t, 6, 3, 24)
+	if _, err := Load(strings.NewReader("not a gob"), g); err == nil {
+		t.Fatal("expected decode error")
+	}
+}

@@ -1,0 +1,115 @@
+package transn
+
+import (
+	"math"
+	"math/rand"
+
+	"transn/internal/autodiff"
+	"transn/internal/mat"
+)
+
+// Translator projects the node-embedding matrix of a sampled path from
+// one view's embedding space into another's (Section III-B2). It is a
+// stack of H encoders, each a self-attention layer (Eq. 8) followed by a
+// feed-forward layer (Eq. 9):
+//
+//	S(A) = softmax(A·Aᵀ/√d)·A
+//	F(A) = relu(W·A + b)   with W ∈ R^{L×L}, b ∈ R^{L×1}
+//
+// where L is the fixed path length. Each sublayer is wrapped in a
+// residual connection (x ← x + sublayer(x)), following the transformer
+// encoder the paper cites [Vaswani et al., 2017]. Without residuals the
+// plain relu stack collapses: the all-zero output is a local optimum of
+// the translation objective against zero-mean embedding targets, and a
+// dead relu stack receives no gradient to escape it. See DESIGN.md §2.
+//
+// The simple variant (ablation TransN-With-Simple-Translator) is a
+// single feed-forward layer, still with its residual.
+type Translator struct {
+	Ws, Bs []*mat.Dense // one per encoder; len 1 when Simple
+	Simple bool
+
+	optW, optB []*autodiff.Adam
+	// lastW/lastB hold the Param tensors of every Apply since the last
+	// Step; Step sums duplicate applications' gradients (the translator
+	// appears twice in each reconstruction graph, cf. Figure 5).
+	lastW, lastB []*autodiff.Tensor
+}
+
+// NewTranslator constructs a translator for paths of length pathLen with
+// the given number of encoders, or a single feed-forward layer when
+// simple is set.
+func NewTranslator(encoders, pathLen int, simple bool, lr float64, rng *rand.Rand) *Translator {
+	n := encoders
+	if simple {
+		n = 1
+	}
+	t := &Translator{Simple: simple}
+	for i := 0; i < n; i++ {
+		t.Ws = append(t.Ws, mat.XavierInit(pathLen, pathLen, rng))
+		t.Bs = append(t.Bs, mat.New(pathLen, 1))
+		t.optW = append(t.optW, autodiff.NewAdam(lr))
+		t.optB = append(t.optB, autodiff.NewAdam(lr))
+	}
+	return t
+}
+
+// PathLen returns the fixed path length the translator was built for.
+func (t *Translator) PathLen() int { return t.Ws[0].R }
+
+// Apply records the translator's forward computation on the tape and
+// returns the translated matrix tensor. x must be PathLen×d.
+func (t *Translator) Apply(tp *autodiff.Tape, x *autodiff.Tensor) *autodiff.Tensor {
+	d := float64(x.Value.C)
+	out := x
+	for i := range t.Ws {
+		w := tp.Param(t.Ws[i])
+		b := tp.Param(t.Bs[i])
+		if !t.Simple {
+			// Residual self-attention sublayer with post-norm.
+			att := tp.SoftmaxRows(tp.Scale(1/math.Sqrt(d), tp.MatMulT(out, out)))
+			out = tp.LayerNormRows(tp.Add(out, tp.MatMul(att, out)))
+		}
+		// Residual feed-forward sublayer with post-norm.
+		out = tp.LayerNormRows(tp.Add(out, tp.Relu(tp.AddColBroadcast(tp.MatMul(w, out), b))))
+		// Track the freshly lifted parameter tensors so Step can read
+		// their gradients after Backward.
+		t.lastW = append(t.lastW, w)
+		t.lastB = append(t.lastB, b)
+	}
+	return out
+}
+
+// Step applies one Adam update using the gradients accumulated by
+// Backward through every Apply since the previous Step.
+func (t *Translator) Step() {
+	for k, w := range t.lastW {
+		i := k % len(t.Ws)
+		// Accumulate duplicate applications into the first occurrence.
+		if k >= len(t.Ws) {
+			mat.AddScaled(t.lastW[i].Grad, 1, w.Grad)
+			mat.AddScaled(t.lastB[i].Grad, 1, t.lastB[k].Grad)
+		}
+	}
+	for i := range t.Ws {
+		t.optW[i].Step(t.Ws[i], t.lastW[i].Grad)
+		t.optB[i].Step(t.Bs[i], t.lastB[i].Grad)
+	}
+	t.lastW = t.lastW[:0]
+	t.lastB = t.lastB[:0]
+}
+
+// DiscardGrads clears pending Apply records without updating parameters.
+func (t *Translator) DiscardGrads() {
+	t.lastW = t.lastW[:0]
+	t.lastB = t.lastB[:0]
+}
+
+// Translate runs the forward pass outside any training loop, for
+// inference and tests.
+func (t *Translator) Translate(x *mat.Dense) *mat.Dense {
+	tp := autodiff.NewTape()
+	out := t.Apply(tp, tp.Constant(x)).Value.Clone()
+	t.DiscardGrads()
+	return out
+}

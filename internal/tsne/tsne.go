@@ -1,0 +1,236 @@
+// Package tsne implements exact t-SNE (van der Maaten & Hinton, 2008)
+// for the paper's Figure 6 case study: 2D projections of applet
+// embeddings. The implementation uses the standard recipe — Gaussian
+// input affinities with a per-point perplexity binary search, Student-t
+// output affinities, KL-divergence gradient descent with momentum and
+// early exaggeration. Exact O(n²) is fine at case-study scale (90
+// points).
+package tsne
+
+import (
+	"math"
+	"math/rand"
+
+	"transn/internal/mat"
+)
+
+// Config holds t-SNE hyperparameters. Zero values take the usual
+// defaults.
+type Config struct {
+	Perplexity   float64 // default 15
+	Iterations   int     // default 500
+	LearningRate float64 // default 100
+	Momentum     float64 // default 0.8 (0.5 during early exaggeration)
+	Exaggeration float64 // default 4, applied for the first quarter
+	Seed         int64   // default 1
+}
+
+func (c Config) withDefaults() Config {
+	if c.Perplexity == 0 {
+		c.Perplexity = 15
+	}
+	if c.Iterations == 0 {
+		c.Iterations = 500
+	}
+	if c.LearningRate == 0 {
+		c.LearningRate = 100
+	}
+	if c.Momentum == 0 {
+		c.Momentum = 0.8
+	}
+	if c.Exaggeration == 0 {
+		c.Exaggeration = 4
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Embed projects the rows of X into 2D.
+func Embed(X *mat.Dense, cfg Config) *mat.Dense {
+	cfg = cfg.withDefaults()
+	n := X.R
+	if n == 0 {
+		return mat.New(0, 2)
+	}
+	if n == 1 {
+		return mat.New(1, 2)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	P := inputAffinities(X, cfg.Perplexity)
+	// Symmetrize and normalize: p_ij = (p_j|i + p_i|j) / 2n.
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			v := (P.At(i, j) + P.At(j, i)) / (2 * float64(n))
+			if v < 1e-12 {
+				v = 1e-12
+			}
+			P.Set(i, j, v)
+			P.Set(j, i, v)
+		}
+		P.Set(i, i, 0)
+	}
+
+	Y := mat.RandN(n, 2, 1e-2, rng)
+	vel := mat.New(n, 2)
+	grad := mat.New(n, 2)
+	Q := mat.New(n, n)
+	num := mat.New(n, n)
+	exaggerateUntil := cfg.Iterations / 4
+
+	for iter := 0; iter < cfg.Iterations; iter++ {
+		exag := 1.0
+		momentum := cfg.Momentum
+		if iter < exaggerateUntil {
+			exag = cfg.Exaggeration
+			momentum = 0.5
+		}
+		// Student-t output affinities.
+		var sumNum float64
+		for i := 0; i < n; i++ {
+			yi := Y.Row(i)
+			for j := i + 1; j < n; j++ {
+				yj := Y.Row(j)
+				dx := yi[0] - yj[0]
+				dy := yi[1] - yj[1]
+				v := 1 / (1 + dx*dx + dy*dy)
+				num.Set(i, j, v)
+				num.Set(j, i, v)
+				sumNum += 2 * v
+			}
+		}
+		if sumNum == 0 {
+			sumNum = 1e-12
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i == j {
+					Q.Set(i, j, 0)
+					continue
+				}
+				q := num.At(i, j) / sumNum
+				if q < 1e-12 {
+					q = 1e-12
+				}
+				Q.Set(i, j, q)
+			}
+		}
+		// Gradient: 4 Σ_j (p_ij·exag − q_ij)·num_ij·(y_i − y_j).
+		grad.Zero()
+		for i := 0; i < n; i++ {
+			yi := Y.Row(i)
+			gi := grad.Row(i)
+			for j := 0; j < n; j++ {
+				if i == j {
+					continue
+				}
+				mult := 4 * (exag*P.At(i, j) - Q.At(i, j)) * num.At(i, j)
+				yj := Y.Row(j)
+				gi[0] += mult * (yi[0] - yj[0])
+				gi[1] += mult * (yi[1] - yj[1])
+			}
+		}
+		// Momentum update.
+		for i := range vel.Data {
+			vel.Data[i] = momentum*vel.Data[i] - cfg.LearningRate*grad.Data[i]
+			Y.Data[i] += vel.Data[i]
+		}
+		// Re-center.
+		var cx, cy float64
+		for i := 0; i < n; i++ {
+			cx += Y.At(i, 0)
+			cy += Y.At(i, 1)
+		}
+		cx /= float64(n)
+		cy /= float64(n)
+		for i := 0; i < n; i++ {
+			Y.Set(i, 0, Y.At(i, 0)-cx)
+			Y.Set(i, 1, Y.At(i, 1)-cy)
+		}
+	}
+	return Y
+}
+
+// inputAffinities computes the conditional distribution p_j|i for every
+// point, binary-searching each point's Gaussian bandwidth to match the
+// target perplexity.
+func inputAffinities(X *mat.Dense, perplexity float64) *mat.Dense {
+	n := X.R
+	if fp := float64(n - 1); perplexity > fp {
+		perplexity = fp // cannot exceed the number of neighbors
+	}
+	logU := math.Log(perplexity)
+	D := pairwiseSqDist(X)
+	P := mat.New(n, n)
+	for i := 0; i < n; i++ {
+		betaMin, betaMax := math.Inf(-1), math.Inf(1)
+		beta := 1.0
+		row := P.Row(i)
+		drow := D.Row(i)
+		for tries := 0; tries < 64; tries++ {
+			// Compute entropy at this beta.
+			var sum float64
+			for j := 0; j < n; j++ {
+				if j == i {
+					row[j] = 0
+					continue
+				}
+				row[j] = math.Exp(-drow[j] * beta)
+				sum += row[j]
+			}
+			if sum == 0 {
+				sum = 1e-12
+			}
+			var H float64
+			for j := 0; j < n; j++ {
+				if j == i || row[j] == 0 {
+					continue
+				}
+				p := row[j] / sum
+				row[j] = p
+				H -= p * math.Log(p)
+			}
+			diff := H - logU
+			if math.Abs(diff) < 1e-5 {
+				break
+			}
+			if diff > 0 {
+				betaMin = beta
+				if math.IsInf(betaMax, 1) {
+					beta *= 2
+				} else {
+					beta = (beta + betaMax) / 2
+				}
+			} else {
+				betaMax = beta
+				if math.IsInf(betaMin, -1) {
+					beta /= 2
+				} else {
+					beta = (beta + betaMin) / 2
+				}
+			}
+		}
+	}
+	return P
+}
+
+func pairwiseSqDist(X *mat.Dense) *mat.Dense {
+	n := X.R
+	D := mat.New(n, n)
+	for i := 0; i < n; i++ {
+		xi := X.Row(i)
+		for j := i + 1; j < n; j++ {
+			xj := X.Row(j)
+			var s float64
+			for k := range xi {
+				d := xi[k] - xj[k]
+				s += d * d
+			}
+			D.Set(i, j, s)
+			D.Set(j, i, s)
+		}
+	}
+	return D
+}

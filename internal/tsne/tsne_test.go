@@ -1,0 +1,124 @@
+package tsne
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"transn/internal/eval"
+	"transn/internal/mat"
+)
+
+func clusteredData(rng *rand.Rand, perCluster, dim int, centers int) (*mat.Dense, []int) {
+	X := mat.New(perCluster*centers, dim)
+	labels := make([]int, X.R)
+	for c := 0; c < centers; c++ {
+		for i := 0; i < perCluster; i++ {
+			r := c*perCluster + i
+			labels[r] = c
+			row := X.Row(r)
+			for k := range row {
+				row[k] = rng.NormFloat64() * 0.3
+			}
+			row[c%dim] += 8 // separate clusters along axes
+		}
+	}
+	return X, labels
+}
+
+func TestEmbedShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	X, _ := clusteredData(rng, 10, 5, 3)
+	Y := Embed(X, Config{Iterations: 50})
+	if Y.R != 30 || Y.C != 2 {
+		t.Fatalf("shape %dx%d", Y.R, Y.C)
+	}
+	for _, v := range Y.Data {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatal("non-finite projection")
+		}
+	}
+}
+
+func TestEmbedTrivialSizes(t *testing.T) {
+	if Y := Embed(mat.New(0, 3), Config{}); Y.R != 0 || Y.C != 2 {
+		t.Fatal("empty input")
+	}
+	if Y := Embed(mat.New(1, 3), Config{}); Y.R != 1 || Y.C != 2 {
+		t.Fatal("single point")
+	}
+	// Two points should not blow up.
+	X := mat.FromSlice(2, 2, []float64{0, 0, 1, 1})
+	Y := Embed(X, Config{Iterations: 30})
+	for _, v := range Y.Data {
+		if math.IsNaN(v) {
+			t.Fatal("NaN with n=2")
+		}
+	}
+}
+
+func TestEmbedDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	X, _ := clusteredData(rng, 8, 4, 2)
+	a := Embed(X, Config{Iterations: 60, Seed: 5})
+	b := Embed(X, Config{Iterations: 60, Seed: 5})
+	if !a.Equal(b, 0) {
+		t.Fatal("same seed must give identical projection")
+	}
+}
+
+func TestEmbedPreservesClusterStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	X, labels := clusteredData(rng, 15, 6, 3)
+	Y := Embed(X, Config{Iterations: 300, Perplexity: 10})
+	sil := eval.Silhouette(Y, labels)
+	if sil < 0.5 {
+		t.Fatalf("projected silhouette %.3f too low — clusters lost", sil)
+	}
+}
+
+func TestEmbedCentersOutput(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	X, _ := clusteredData(rng, 10, 4, 2)
+	Y := Embed(X, Config{Iterations: 80})
+	var cx, cy float64
+	for i := 0; i < Y.R; i++ {
+		cx += Y.At(i, 0)
+		cy += Y.At(i, 1)
+	}
+	if math.Abs(cx)/float64(Y.R) > 1e-9 || math.Abs(cy)/float64(Y.R) > 1e-9 {
+		t.Fatalf("projection not centered: (%g, %g)", cx, cy)
+	}
+}
+
+func TestPerplexityClampedForTinyInputs(t *testing.T) {
+	// Perplexity larger than n-1 must not hang or NaN.
+	X := mat.FromSlice(3, 2, []float64{0, 0, 1, 0, 0, 1})
+	Y := Embed(X, Config{Iterations: 40, Perplexity: 50})
+	for _, v := range Y.Data {
+		if math.IsNaN(v) {
+			t.Fatal("NaN under clamped perplexity")
+		}
+	}
+}
+
+func TestInputAffinitiesRowsNormalized(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	X, _ := clusteredData(rng, 6, 3, 2)
+	P := inputAffinities(X, 5)
+	for i := 0; i < P.R; i++ {
+		var sum float64
+		for j, v := range P.Row(i) {
+			if j == i && v != 0 {
+				t.Fatal("self-affinity must be zero")
+			}
+			if v < 0 {
+				t.Fatal("negative affinity")
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-6 {
+			t.Fatalf("row %d sums to %v", i, sum)
+		}
+	}
+}

@@ -1,0 +1,80 @@
+// Package walk implements the random-walk machinery of the paper's
+// single-view algorithm (Section III-A) and the walkers the baselines
+// need: simple uniform walks, weight-biased walks (Eq. 6), correlated
+// walks on heter-views (Eqs. 4–7), node2vec (p,q) walks, and meta-path
+// constrained walks. Walk corpora follow the paper's per-node path count
+// max(min(degree, 32), 10).
+package walk
+
+import "math/rand"
+
+// Alias is a Vose alias table for O(1) sampling from a discrete
+// distribution. Construction is O(n).
+type Alias struct {
+	prob  []float64
+	alias []int32
+}
+
+// NewAlias builds an alias table over weights (non-negative, at least one
+// positive). Weights need not be normalized.
+func NewAlias(weights []float64) *Alias {
+	n := len(weights)
+	if n == 0 {
+		panic("walk: NewAlias with empty weights")
+	}
+	var total float64
+	for _, w := range weights {
+		if w < 0 {
+			panic("walk: negative weight")
+		}
+		total += w
+	}
+	if total == 0 {
+		panic("walk: all weights zero")
+	}
+	a := &Alias{prob: make([]float64, n), alias: make([]int32, n)}
+	scaled := make([]float64, n)
+	small := make([]int32, 0, n)
+	large := make([]int32, 0, n)
+	for i, w := range weights {
+		scaled[i] = w * float64(n) / total
+		if scaled[i] < 1 {
+			small = append(small, int32(i))
+		} else {
+			large = append(large, int32(i))
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		large = large[:len(large)-1]
+		a.prob[s] = scaled[s]
+		a.alias[s] = l
+		scaled[l] -= 1 - scaled[s]
+		if scaled[l] < 1 {
+			small = append(small, l)
+		} else {
+			large = append(large, l)
+		}
+	}
+	for _, l := range large {
+		a.prob[l] = 1
+	}
+	for _, s := range small {
+		a.prob[s] = 1
+	}
+	return a
+}
+
+// Draw samples an index from the table.
+func (a *Alias) Draw(rng *rand.Rand) int {
+	i := rng.Intn(len(a.prob))
+	if rng.Float64() < a.prob[i] {
+		return i
+	}
+	return int(a.alias[i])
+}
+
+// Len returns the number of outcomes.
+func (a *Alias) Len() int { return len(a.prob) }

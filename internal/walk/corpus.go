@@ -1,0 +1,150 @@
+package walk
+
+import (
+	"math/rand"
+
+	"transn/internal/graph"
+)
+
+// CorpusConfig controls corpus generation. The paper sets WalkLength=80
+// and samples max(min(degree, MaxWalksPerNode), MinWalksPerNode) paths
+// per node, with MinWalksPerNode=10 and MaxWalksPerNode=32 — the "biased
+// with respect to node degrees" start policy of Section III.
+type CorpusConfig struct {
+	WalkLength      int
+	MinWalksPerNode int
+	MaxWalksPerNode int
+}
+
+// DefaultCorpusConfig returns the paper's settings.
+func DefaultCorpusConfig() CorpusConfig {
+	return CorpusConfig{WalkLength: 80, MinWalksPerNode: 10, MaxWalksPerNode: 32}
+}
+
+// WalksFor returns the number of walks to start at a node with the given
+// degree: max(min(degree, MaxWalksPerNode), MinWalksPerNode).
+func (c CorpusConfig) WalksFor(degree int) int {
+	n := degree
+	if n > c.MaxWalksPerNode {
+		n = c.MaxWalksPerNode
+	}
+	if n < c.MinWalksPerNode {
+		n = c.MinWalksPerNode
+	}
+	return n
+}
+
+// Corpus samples random walks from every node of the view using walker w.
+// Paths hold view-local node indices.
+func Corpus(v *graph.View, w Walker, cfg CorpusConfig, rng *rand.Rand) [][]int {
+	var paths [][]int
+	for l := 0; l < v.NumNodes(); l++ {
+		k := cfg.WalksFor(v.Degree(l))
+		for i := 0; i < k; i++ {
+			p := w.Walk(v, l, cfg.WalkLength, rng)
+			if len(p) >= 2 {
+				paths = append(paths, p)
+			}
+		}
+	}
+	return paths
+}
+
+// Adj is merged whole-graph adjacency (all edge types) used by walkers
+// that cross views, such as the meta-path walker and HIN2VEC-style walks.
+type Adj struct {
+	g       *graph.Graph
+	rowPtr  []int
+	colIdx  []int32 // neighbor global node IDs
+	weights []float64
+	etypes  []int32 // edge type of each adjacency slot
+}
+
+// NewAdj builds merged adjacency for g.
+func NewAdj(g *graph.Graph) *Adj {
+	n := g.NumNodes()
+	a := &Adj{g: g}
+	deg := make([]int, n)
+	for _, e := range g.Edges {
+		deg[e.U]++
+		deg[e.V]++
+	}
+	a.rowPtr = make([]int, n+1)
+	for i := 0; i < n; i++ {
+		a.rowPtr[i+1] = a.rowPtr[i] + deg[i]
+	}
+	m := a.rowPtr[n]
+	a.colIdx = make([]int32, m)
+	a.weights = make([]float64, m)
+	a.etypes = make([]int32, m)
+	fill := make([]int, n)
+	copy(fill, a.rowPtr[:n])
+	for _, e := range g.Edges {
+		a.colIdx[fill[e.U]] = int32(e.V)
+		a.weights[fill[e.U]] = e.Weight
+		a.etypes[fill[e.U]] = int32(e.Type)
+		fill[e.U]++
+		a.colIdx[fill[e.V]] = int32(e.U)
+		a.weights[fill[e.V]] = e.Weight
+		a.etypes[fill[e.V]] = int32(e.Type)
+		fill[e.V]++
+	}
+	return a
+}
+
+// Neighbors returns neighbor IDs, weights and edge types of node id.
+// The slices alias internal storage.
+func (a *Adj) Neighbors(id graph.NodeID) ([]int32, []float64, []int32) {
+	lo, hi := a.rowPtr[id], a.rowPtr[id+1]
+	return a.colIdx[lo:hi], a.weights[lo:hi], a.etypes[lo:hi]
+}
+
+// Degree returns the merged degree of node id.
+func (a *Adj) Degree(id graph.NodeID) int { return a.rowPtr[id+1] - a.rowPtr[id] }
+
+// MetaPath performs walks constrained by a cyclic meta-path of node
+// types, as in metapath2vec. The walk starts at a node whose type equals
+// metaPath[0] and each step moves to a uniformly random neighbor of the
+// next type in the (cyclic) pattern; it stops early when no such neighbor
+// exists. The first and last types of the pattern must match for the
+// cycle to be well-formed (e.g. A-P-V-P-A).
+type MetaPath struct {
+	Adj     *Adj
+	Pattern []graph.NodeType
+}
+
+// Walk performs one meta-path walk of up to length nodes from start.
+// start must have type Pattern[0]; otherwise the walk is empty.
+func (m MetaPath) Walk(start graph.NodeID, length int, rng *rand.Rand) []graph.NodeID {
+	if m.Adj.g.NodeType(start) != m.Pattern[0] {
+		return nil
+	}
+	// The pattern is cyclic with shared endpoints: position p in the walk
+	// corresponds to pattern index p mod (len-1).
+	period := len(m.Pattern) - 1
+	if period <= 0 {
+		return nil
+	}
+	path := make([]graph.NodeID, 0, length)
+	path = append(path, start)
+	cur := start
+	for len(path) < length {
+		wantType := m.Pattern[len(path)%period]
+		ns, ws, _ := m.Adj.Neighbors(cur)
+		// Collect candidates of the wanted type.
+		var cands []int32
+		var cw []float64
+		for i, nb := range ns {
+			if m.Adj.g.NodeType(graph.NodeID(nb)) == wantType {
+				cands = append(cands, nb)
+				cw = append(cw, ws[i])
+			}
+		}
+		if len(cands) == 0 {
+			break
+		}
+		cur = graph.NodeID(weightedPick(cands, cw, rng))
+		path = append(path, cur)
+	}
+	return path
+}
