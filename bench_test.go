@@ -16,8 +16,10 @@
 package repro
 
 import (
+	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -56,7 +58,7 @@ func BenchmarkTable3NodeClassification(b *testing.B) {
 		b.Run(spec.Name, func(b *testing.B) {
 			opts := benchOpts()
 			g := spec.Generate(opts.Size, opts.Seed)
-			methods := experiments.Methods(spec.Name, opts.Size)
+			methods := experiments.Methods(spec.Name, opts.Size, opts.Workers)
 			for i := 0; i < b.N; i++ {
 				for _, m := range methods {
 					if _, err := m.Embed(g, opts.Dim, opts.Seed); err != nil {
@@ -83,7 +85,7 @@ func BenchmarkTable5Ablation(b *testing.B) {
 		b.Run(spec.Name, func(b *testing.B) {
 			opts := benchOpts()
 			g := spec.Generate(opts.Size, opts.Seed)
-			methods := experiments.AblationMethods(opts.Size)
+			methods := experiments.AblationMethods(opts.Size, opts.Workers)
 			for i := 0; i < b.N; i++ {
 				for _, m := range methods {
 					if _, err := m.Embed(g, opts.Dim, opts.Seed); err != nil {
@@ -115,7 +117,77 @@ func transnBenchCfg() transn.Config {
 	cfg.Iterations = 2
 	cfg.CrossPathLen = 6
 	cfg.CrossPathsPerPair = 50
+	// Component ablations compare algorithmic variants, so they run on
+	// the serial path; BenchmarkWorkerPool* measure the pool itself.
+	cfg.Workers = 1
 	return cfg
+}
+
+// --- Worker-pool benchmarks (serial vs. pooled; DESIGN.md §6). ---
+
+// workerCounts returns the ladder 1, 2, ..., NumCPU without duplicates.
+func workerCounts() []int {
+	counts := []int{1, 2, 4}
+	n := runtime.NumCPU()
+	out := counts[:0]
+	for _, c := range counts {
+		if c <= n {
+			out = append(out, c)
+		}
+	}
+	if len(out) == 0 || out[len(out)-1] != n {
+		out = append(out, n)
+	}
+	return out
+}
+
+// BenchmarkWorkerPoolSingleView isolates the sharded walk + skip-gram
+// path (no cross-view fan-out): the speedup of W4 over W1 on a
+// multi-core machine is the headline number for the pool.
+func BenchmarkWorkerPoolSingleView(b *testing.B) {
+	g := dataset.AppDaily(dataset.Quick, 1)
+	for _, w := range workerCounts() {
+		w := w
+		b.Run(fmt.Sprintf("W%d", w), func(b *testing.B) {
+			cfg := transnBenchCfg()
+			cfg.NoCrossView = true
+			cfg.Workers = w
+			for i := 0; i < b.N; i++ {
+				if _, err := transn.Train(g, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkWorkerPoolFullPipeline runs the complete Algorithm 1 loop
+// (walks, skip-gram, cross-view pair steps) in both update disciplines
+// across the worker ladder.
+func BenchmarkWorkerPoolFullPipeline(b *testing.B) {
+	g := dataset.AppDaily(dataset.Quick, 1)
+	for _, mode := range []struct {
+		name          string
+		deterministic bool
+	}{
+		{"Hogwild", false},
+		{"Deterministic", true},
+	} {
+		mode := mode
+		for _, w := range workerCounts() {
+			w := w
+			b.Run(fmt.Sprintf("%s/W%d", mode.name, w), func(b *testing.B) {
+				cfg := transnBenchCfg()
+				cfg.Workers = w
+				cfg.DeterministicApply = mode.deterministic
+				for i := 0; i < b.N; i++ {
+					if _, err := transn.Train(g, cfg); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
 }
 
 func BenchmarkAblationWalkers(b *testing.B) {

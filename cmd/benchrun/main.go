@@ -33,6 +33,7 @@ func main() {
 		dim     = flag.Int("dim", 0, "embedding dimensionality (default 32 quick / 64 full)")
 		reps    = flag.Int("reps", 0, "classification repetitions (default 3 quick / 10 full)")
 		points  = flag.String("points", "", "write Figure 6 coordinates as TSV to this file")
+		workers = flag.Int("workers", 0, "TransN worker-pool size (0 = all cores, 1 = serial)")
 		timings = flag.Bool("timings", false, "print wall-clock time per experiment")
 	)
 	flag.Parse()
@@ -48,6 +49,7 @@ func main() {
 	if *reps > 0 {
 		opts.Reps = *reps
 	}
+	opts.Workers = *workers
 
 	if !*all && *table == 0 && *figure == 0 {
 		flag.Usage()

@@ -109,7 +109,9 @@ func cmdTrain(args []string) error {
 	encoders := fs.Int("encoders", 2, "encoders per translator")
 	metapath := fs.String("metapath", "", "comma-separated node types for metapath2vec (defaults to an auto-derived pattern)")
 	ablation := fs.String("ablation", "", "TransN ablation: no-cross-view, simple-walk, simple-translator, no-translation, no-reconstruction")
-	parallel := fs.Bool("parallel", false, "train views concurrently (TransN only)")
+	workers := fs.Int("workers", 0, "worker-pool size for TransN walk/skip-gram/cross-view sharding (0 = all cores, 1 = serial)")
+	deterministic := fs.Bool("deterministic", false, "apply sharded updates in deterministic order (reproducible for a fixed -seed and -workers; default is Hogwild)")
+	parallel := fs.Bool("parallel", false, "deprecated alias for -workers 0 -deterministic (TransN only)")
 	modelOut := fs.String("model", "", "also save the trained TransN model (gob) to this path")
 	fs.Parse(args)
 	if *input == "" || *output == "" {
@@ -127,6 +129,8 @@ func cmdTrain(args []string) error {
 		return err
 	}
 	if tm, ok := m.(transnMethod); ok {
+		tm.cfg.Workers = *workers
+		tm.cfg.DeterministicApply = *deterministic
 		tm.cfg.Parallel = *parallel
 		tm.modelOut = *modelOut
 		m = tm

@@ -39,6 +39,9 @@ func TestEndToEndPipeline(t *testing.T) {
 	cfg.Iterations = 4
 	cfg.CrossPathLen = 4
 	cfg.CrossPathsPerPair = 40
+	// Exercise the worker pool (walk + skip-gram sharding) while keeping
+	// the run reproducible on any machine.
+	cfg.DeterministicApply = true
 	model, err := transn.Train(g2, cfg)
 	if err != nil {
 		t.Fatal(err)

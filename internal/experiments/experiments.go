@@ -26,10 +26,11 @@ import (
 
 // Options configures an experiment run.
 type Options struct {
-	Size dataset.Size // Quick (tests/benches) or Full (closer to paper)
-	Dim  int          // embedding dimensionality (paper: 128)
-	Seed int64
-	Reps int // classification repetitions (paper: 10)
+	Size    dataset.Size // Quick (tests/benches) or Full (closer to paper)
+	Dim     int          // embedding dimensionality (paper: 128)
+	Seed    int64
+	Reps    int // classification repetitions (paper: 10)
+	Workers int // TransN worker-pool size (0 = all cores, 1 = serial)
 }
 
 // DefaultOptions returns fast settings for iterative use.
@@ -69,8 +70,12 @@ func (m TransNMethod) Embed(g *graph.Graph, dim int, seed int64) (*mat.Dense, er
 }
 
 // transnConfig returns TransN hyperparameters scaled to the run size.
-func transnConfig(size dataset.Size) transn.Config {
+func transnConfig(size dataset.Size, workers int) transn.Config {
 	cfg := transn.DefaultConfig()
+	// Tables must be reproducible run to run: shard across the pool but
+	// apply updates in deterministic shard order.
+	cfg.Workers = workers
+	cfg.DeterministicApply = true
 	if size == dataset.Quick {
 		cfg.WalkLength = 20
 		cfg.MinWalksPerNode = 4
@@ -105,7 +110,7 @@ func metaPattern(datasetName string) []string {
 
 // Methods returns the Table III/IV method roster for a dataset: the
 // seven baselines plus TransN, in the paper's row order.
-func Methods(datasetName string, size dataset.Size) []baselines.Method {
+func Methods(datasetName string, size dataset.Size, workers int) []baselines.Method {
 	quick := size == dataset.Quick
 	scale := func(full, q int) int {
 		if quick {
@@ -129,15 +134,15 @@ func Methods(datasetName string, size dataset.Size) []baselines.Method {
 		mve.Method{NumWalks: scale(6, 3), WalkLength: scale(40, 20), Iterations: scale(4, 2)},
 		rgcn.Method{Epochs: scale(80, 40), Batch: scale(256, 128)},
 		simple.Method{Epochs: scale(300, 250)},
-		TransNMethod{Cfg: transnConfig(size)},
+		TransNMethod{Cfg: transnConfig(size, workers)},
 	)
 	return methods
 }
 
 // AblationMethods returns the Table V roster: the five degenerated
 // variants plus the full model.
-func AblationMethods(size dataset.Size) []baselines.Method {
-	base := transnConfig(size)
+func AblationMethods(size dataset.Size, workers int) []baselines.Method {
+	base := transnConfig(size, workers)
 	mk := func(label string, mutate func(*transn.Config)) TransNMethod {
 		cfg := base
 		mutate(&cfg)

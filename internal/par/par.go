@@ -1,0 +1,54 @@
+// Package par provides the worker-pool primitive shared by the sharded
+// training pipeline: walk-corpus generation (internal/walk), skip-gram
+// shard training (internal/skipgram) and cross-view pair steps
+// (internal/transn) all fan work out through Run. Keeping the one
+// primitive here means there is a single place where goroutines are
+// spawned during training, which is what makes the concurrency story
+// auditable (see DESIGN.md §6).
+package par
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Run invokes fn(shard) for every shard in [0, shards) and returns once
+// all invocations have completed. At most workers invocations run
+// concurrently. With workers <= 1 (or a single shard) the calls happen
+// inline on the caller's goroutine in ascending shard order, so a
+// one-worker pool is byte-for-byte the serial path — the determinism
+// tests rely on this.
+//
+// Shards are claimed dynamically (an atomic counter, not a static
+// pre-partition), so uneven shard costs still load-balance. fn must not
+// panic across shards it does not own; Run does not recover.
+func Run(workers, shards int, fn func(shard int)) {
+	if shards <= 0 {
+		return
+	}
+	if workers > shards {
+		workers = shards
+	}
+	if workers <= 1 || shards == 1 {
+		for s := 0; s < shards; s++ {
+			fn(s)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				s := int(next.Add(1)) - 1
+				if s >= shards {
+					return
+				}
+				fn(s)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,67 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunCoversEveryShardOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 3, 8, 100} {
+		for _, shards := range []int{0, 1, 2, 7, 64} {
+			hits := make([]int32, shards)
+			Run(workers, shards, func(s int) {
+				atomic.AddInt32(&hits[s], 1)
+			})
+			for s, h := range hits {
+				if h != 1 {
+					t.Fatalf("workers=%d shards=%d: shard %d ran %d times", workers, shards, s, h)
+				}
+			}
+		}
+	}
+}
+
+func TestRunSingleWorkerIsInlineAndOrdered(t *testing.T) {
+	var order []int
+	Run(1, 5, func(s int) { order = append(order, s) }) // no sync: must be inline
+	for i, s := range order {
+		if s != i {
+			t.Fatalf("serial order %v", order)
+		}
+	}
+	if len(order) != 5 {
+		t.Fatalf("ran %d shards", len(order))
+	}
+}
+
+func TestRunBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var cur, peak atomic.Int32
+	Run(workers, 64, func(s int) {
+		c := cur.Add(1)
+		for {
+			p := peak.Load()
+			if c <= p || peak.CompareAndSwap(p, c) {
+				break
+			}
+		}
+		// Busy work so goroutines overlap when GOMAXPROCS allows it.
+		x := 0
+		for i := 0; i < 1000; i++ {
+			x += i ^ s
+		}
+		_ = x
+		cur.Add(-1)
+	})
+	if p := peak.Load(); p > workers {
+		t.Fatalf("observed %d concurrent shards, cap %d", p, workers)
+	}
+}
+
+func TestRunZeroShardsNoCall(t *testing.T) {
+	called := false
+	Run(4, 0, func(int) { called = true })
+	if called {
+		t.Fatal("fn called with zero shards")
+	}
+}

@@ -11,6 +11,8 @@ import (
 	"math/rand"
 
 	"transn/internal/mat"
+	"transn/internal/par"
+	"transn/internal/rngstream"
 	"transn/internal/walk"
 )
 
@@ -91,28 +93,25 @@ func SymmetricOffsets(w int) []int {
 // pair is pushed together, neg sampled negatives are pushed apart. The
 // binary cross-entropy loss of the update is returned. Negatives equal to
 // the true context are re-drawn a bounded number of times.
+//
+// All element-level access to the shared In/Out tables goes through the
+// two go:norace leaf helpers below (hogwildPairUpdate, applyRowGrad): in
+// the Hogwild mode of TrainCorpusParallel several shards apply updates
+// to the tables concurrently without synchronization, exactly like the
+// original word2vec trainer. Those element races are intentional and
+// benign on platforms with atomic aligned 64-bit stores (amd64, arm64):
+// a lost update costs one stochastic gradient step, never a torn value.
+// The race-detector exemption is confined to exactly those leaves (and
+// the cross-view gather/scatter in internal/transn) so the surrounding
+// pool, sharding and phase-barrier logic remains fully instrumented —
+// `go test -race` still proves the pipeline has no unintended races.
+// go:norace covers only the annotated body (not callees or closures), so
+// the helpers inline their dot products instead of calling mat.Dot, and
+// go:noinline stops an instrumented caller from absorbing them.
 func (m *Model) TrainPair(center, context, neg int, lr float64, s *NegSampler, rng *rand.Rand) float64 {
 	in := m.In.Row(center)
-	dim := len(in)
-	grad := make([]float64, dim)
-	var loss float64
-
-	update := func(target int, label float64) {
-		out := m.Out.Row(target)
-		score := sigmoid(mat.Dot(in, out))
-		g := (score - label) * lr
-		if label == 1 {
-			loss += -math.Log(math.Max(score, 1e-10))
-		} else {
-			loss += -math.Log(math.Max(1-score, 1e-10))
-		}
-		for i := 0; i < dim; i++ {
-			grad[i] += g * out[i]
-			out[i] -= g * in[i]
-		}
-	}
-
-	update(context, 1)
+	grad := make([]float64, len(in))
+	loss := hogwildPairUpdate(in, m.Out.Row(context), grad, 1, lr)
 	for k := 0; k < neg; k++ {
 		n := s.Draw(rng)
 		for tries := 0; n == context && tries < 4; tries++ {
@@ -121,18 +120,65 @@ func (m *Model) TrainPair(center, context, neg int, lr float64, s *NegSampler, r
 		if n == context {
 			continue
 		}
-		update(n, 0)
+		loss += hogwildPairUpdate(in, m.Out.Row(n), grad, 0, lr)
 	}
-	for i := 0; i < dim; i++ {
-		in[i] -= grad[i]
+	applyRowGrad(in, grad)
+	return loss
+}
+
+// hogwildPairUpdate scores one (center, target) pair against label,
+// updates the target's output row in place, and accumulates the center
+// gradient into grad (applied once per pair by applyRowGrad). grad and
+// the return value are goroutine-local; only in (read) and out
+// (read/write) are shared. See the Hogwild contract on TrainPair.
+//
+//go:norace
+//go:noinline
+func hogwildPairUpdate(in, out, grad []float64, label, lr float64) float64 {
+	var dot float64
+	for i := range in {
+		dot += in[i] * out[i]
+	}
+	score := sigmoid(dot)
+	g := (score - label) * lr
+	var loss float64
+	if label == 1 {
+		loss = -math.Log(math.Max(score, 1e-10))
+	} else {
+		loss = -math.Log(math.Max(1-score, 1e-10))
+	}
+	for i := range in {
+		grad[i] += g * out[i]
+		out[i] -= g * in[i]
 	}
 	return loss
+}
+
+// applyRowGrad subtracts the accumulated center gradient from the shared
+// input row. See the Hogwild contract on TrainPair.
+//
+//go:norace
+//go:noinline
+func applyRowGrad(in, grad []float64) {
+	for i := range in {
+		in[i] -= grad[i]
+	}
 }
 
 // TrainCorpus runs one SGNS pass over the corpus using the given context
 // offsets and returns the mean pair loss. lr is held constant within the
 // pass; callers decay it across passes.
 func (m *Model) TrainCorpus(paths [][]int, offsets []int, neg int, lr float64, s *NegSampler, rng *rand.Rand) float64 {
+	loss, pairs := m.trainCorpus(paths, offsets, neg, lr, s, rng)
+	if pairs == 0 {
+		return 0
+	}
+	return loss / float64(pairs)
+}
+
+// trainCorpus is the shared pass body: it returns the summed pair loss
+// and the pair count so sharded callers can combine shard means exactly.
+func (m *Model) trainCorpus(paths [][]int, offsets []int, neg int, lr float64, s *NegSampler, rng *rand.Rand) (float64, int) {
 	var loss float64
 	var pairs int
 	for _, p := range paths {
@@ -149,6 +195,61 @@ func (m *Model) TrainCorpus(paths [][]int, offsets []int, neg int, lr float64, s
 				pairs++
 			}
 		}
+	}
+	return loss, pairs
+}
+
+// TrainCorpusParallel runs one SGNS pass with the corpus partitioned
+// into `workers` contiguous shards, shard s training under the private
+// RNG stream rngstream(seed, s). Two update disciplines are provided:
+//
+//   - Hogwild (deterministic=false, the default for training): shards
+//     run concurrently on the worker pool and apply unsynchronized
+//     updates to the shared In/Out tables, word2vec-style. Lock-free
+//     and near-linear in workers, but nondeterministic for workers > 1
+//     because shard interleaving varies run to run. See TrainPair for
+//     why this is race-clean by construction.
+//
+//   - Deterministic sharded apply (deterministic=true): the same shard
+//     partition and RNG streams, but shards are applied serially in
+//     shard order. Byte-reproducible for a fixed (seed, workers) at the
+//     cost of serializing the skip-gram updates; walk generation
+//     upstream still parallelizes. Used by the determinism test suite
+//     and by callers that need reproducible embeddings (experiments,
+//     regression baselines).
+//
+// With workers <= 1 both modes reduce to TrainCorpus under stream
+// (seed, 0) — the serial path. The negative sampler is shared and
+// read-only. The returned loss is the mean pair loss across all shards;
+// under Hogwild it is itself subject to the benign read races and may
+// vary in the last bits between runs.
+func (m *Model) TrainCorpusParallel(paths [][]int, offsets []int, neg int, lr float64, s *NegSampler, seed int64, workers int, deterministic bool) float64 {
+	if workers <= 1 || len(paths) <= 1 {
+		return m.TrainCorpus(paths, offsets, neg, lr, s, rngstream.New(seed, 0))
+	}
+	shards := workers
+	if shards > len(paths) {
+		shards = len(paths)
+	}
+	losses := make([]float64, shards)
+	counts := make([]int, shards)
+	train := func(sh int) {
+		lo := sh * len(paths) / shards
+		hi := (sh + 1) * len(paths) / shards
+		losses[sh], counts[sh] = m.trainCorpus(paths[lo:hi], offsets, neg, lr, s, rngstream.New(seed, int64(sh)))
+	}
+	if deterministic {
+		for sh := 0; sh < shards; sh++ {
+			train(sh)
+		}
+	} else {
+		par.Run(workers, shards, train)
+	}
+	var loss float64
+	var pairs int
+	for sh := range losses {
+		loss += losses[sh]
+		pairs += counts[sh]
 	}
 	if pairs == 0 {
 		return 0

@@ -7,6 +7,7 @@ import (
 	"testing/quick"
 
 	"transn/internal/mat"
+	"transn/internal/rngstream"
 )
 
 func TestContextOffsets(t *testing.T) {
@@ -276,5 +277,78 @@ func TestTrainCorpusSkipsSelfPairs(t *testing.T) {
 	loss := m.TrainCorpus([][]int{{0, 0, 0, 0}}, SymmetricOffsets(1), 2, 0.1, s, rng)
 	if loss != 0 {
 		t.Fatalf("self-pair corpus should produce zero pairs, got loss %v", loss)
+	}
+}
+
+// cloneModel deep-copies a model so two training disciplines can start
+// from identical weights.
+func cloneModel(m *Model) *Model {
+	c := NewModel(m.In.R, m.In.C, rand.New(rand.NewSource(0)))
+	copy(c.In.Data, m.In.Data)
+	copy(c.Out.Data, m.Out.Data)
+	return c
+}
+
+// TrainCorpusParallel with one worker must reduce to TrainCorpus under
+// the shard-0 stream — this anchors the Workers=1 reproducibility
+// promise all the way down the stack.
+func TestTrainCorpusParallelOneWorkerMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	paths := twoClusterCorpus(rng, 30, 10)
+	s := NewNegSampler(CorpusFrequencies(paths, 6))
+	a := NewModel(6, 8, rand.New(rand.NewSource(7)))
+	b := cloneModel(a)
+	const seed = 99
+	la := a.TrainCorpusParallel(paths, SymmetricOffsets(2), 5, 0.05, s, seed, 1, false)
+	lb := b.TrainCorpus(paths, SymmetricOffsets(2), 5, 0.05, s, rngstream.New(seed, 0))
+	if la != lb {
+		t.Fatalf("losses differ: %v vs %v", la, lb)
+	}
+	for i := range a.In.Data {
+		if a.In.Data[i] != b.In.Data[i] {
+			t.Fatalf("In tables diverge at %d", i)
+		}
+	}
+	for i := range a.Out.Data {
+		if a.Out.Data[i] != b.Out.Data[i] {
+			t.Fatalf("Out tables diverge at %d", i)
+		}
+	}
+}
+
+// Deterministic sharded apply must be byte-reproducible per (seed,
+// workers), and Hogwild must still learn on the same corpus.
+func TestTrainCorpusParallelDeterministicReproducible(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	paths := twoClusterCorpus(rng, 30, 10)
+	s := NewNegSampler(CorpusFrequencies(paths, 6))
+	for _, workers := range []int{2, 4} {
+		a := NewModel(6, 8, rand.New(rand.NewSource(9)))
+		b := cloneModel(a)
+		la := a.TrainCorpusParallel(paths, SymmetricOffsets(2), 5, 0.05, s, 11, workers, true)
+		lb := b.TrainCorpusParallel(paths, SymmetricOffsets(2), 5, 0.05, s, 11, workers, true)
+		if la != lb {
+			t.Fatalf("workers=%d losses differ: %v vs %v", workers, la, lb)
+		}
+		for i := range a.In.Data {
+			if a.In.Data[i] != b.In.Data[i] {
+				t.Fatalf("workers=%d In tables diverge at %d", workers, i)
+			}
+		}
+	}
+}
+
+func TestTrainCorpusParallelHogwildLearns(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	paths := twoClusterCorpus(rng, 40, 10)
+	s := NewNegSampler(CorpusFrequencies(paths, 6))
+	m := NewModel(6, 8, rand.New(rand.NewSource(11)))
+	first := m.TrainCorpusParallel(paths, SymmetricOffsets(1), 5, 0.05, s, 12, 4, false)
+	var last float64
+	for i := 1; i < 10; i++ {
+		last = m.TrainCorpusParallel(paths, SymmetricOffsets(1), 5, 0.05, s, 12+int64(i), 4, false)
+	}
+	if math.IsNaN(last) || last >= first {
+		t.Fatalf("hogwild loss did not decrease: first %.4f last %.4f", first, last)
 	}
 }

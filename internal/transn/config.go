@@ -7,7 +7,10 @@
 // view-specific embeddings.
 package transn
 
-import "fmt"
+import (
+	"fmt"
+	"runtime"
+)
 
 // CrossLoss selects how translation/reconstruction similarity is scored.
 type CrossLoss int
@@ -58,13 +61,29 @@ type Config struct {
 	CrossPathsPerPair int
 	// Loss selects the cross-view similarity objective.
 	Loss CrossLoss
-	// Seed drives all randomness; the same seed reproduces the same
-	// embeddings exactly.
+	// Seed drives all randomness. With Workers=1, or with
+	// DeterministicApply set, the same seed reproduces the same
+	// embeddings exactly; the default Hogwild mode (Workers>1) is
+	// intentionally nondeterministic — see the concurrency model in
+	// DESIGN.md §6.
 	Seed int64
-	// Parallel trains the single-view algorithm of each view in its own
-	// goroutine. Views are disjoint parameter sets, so this is safe; each
-	// view gets an independent RNG derived from Seed, so results remain
-	// deterministic (though different from the sequential schedule).
+	// Workers is the worker-pool size: walk generation, skip-gram shard
+	// training and cross-view pair steps all shard across this many
+	// goroutines. 0 means runtime.NumCPU(); 1 means fully serial. Every
+	// shard owns a private RNG stream derived as (Seed, kind, view/pair,
+	// shard[, iteration]) — see internal/rngstream.
+	Workers int
+	// DeterministicApply opts into the deterministic sharded-apply mode:
+	// walk corpora are still generated in parallel, but skip-gram shards
+	// and cross-view pair steps apply their updates serially in shard
+	// order, making training byte-reproducible for a fixed (Seed,
+	// Workers). The default (false) is Hogwild-style lock-free updates:
+	// faster, race-clean by construction, but nondeterministic when
+	// Workers > 1.
+	DeterministicApply bool
+	// Parallel is deprecated: use Workers. Parallel=true behaves like
+	// Workers=NumCPU with DeterministicApply=true, preserving the old
+	// promise that parallel training is reproducible for a fixed seed.
 	Parallel bool
 
 	// Ablation switches (Table V).
@@ -144,6 +163,14 @@ func (c Config) withDefaults() Config {
 	if c.Seed == 0 {
 		c.Seed = d.Seed
 	}
+	if c.Workers == 0 {
+		c.Workers = runtime.NumCPU()
+	}
+	if c.Parallel {
+		// Deprecated alias: Parallel documented deterministic concurrent
+		// training, which is now the deterministic sharded-apply mode.
+		c.DeterministicApply = true
+	}
 	return c
 }
 
@@ -160,6 +187,9 @@ func (c Config) Validate() error {
 	}
 	if c.Encoders < 1 {
 		return fmt.Errorf("transn: Encoders must be positive, got %d", c.Encoders)
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("transn: Workers must be non-negative, got %d", c.Workers)
 	}
 	if c.MinWalksPerNode > c.MaxWalksPerNode {
 		return fmt.Errorf("transn: MinWalksPerNode %d > MaxWalksPerNode %d",

@@ -61,3 +61,11 @@ func TestValidateRejectsBadCrossPathLen(t *testing.T) {
 		t.Fatal("expected rejection of zero encoders")
 	}
 }
+
+func TestValidateRejectsNegativeWorkers(t *testing.T) {
+	c := DefaultConfig()
+	c.Workers = -1
+	if err := c.Validate(); err == nil {
+		t.Fatal("expected rejection of Workers -1")
+	}
+}

@@ -2,6 +2,7 @@ package transn
 
 import (
 	"math"
+	"math/rand"
 
 	"transn/internal/autodiff"
 	"transn/internal/graph"
@@ -13,8 +14,11 @@ import (
 // lines 8–12): it samples common-node path segments from both
 // paired-subviews and optimizes the translation tasks T1/T2 (Eqs. 11–12)
 // and reconstruction tasks R1/R2 (Eqs. 13–14). It returns the mean
-// segment loss.
-func (m *Model) crossViewStep(pi int) float64 {
+// segment loss. rng is pair pi's private stream; when pair steps fan out
+// over the worker pool, each pair runs on exactly one worker so nothing
+// here is shared between goroutines except the embedding tables, whose
+// accesses go through the Hogwild gather/scatter helpers below.
+func (m *Model) crossViewStep(pi int, rng *rand.Rand) float64 {
 	pr := m.pairs[pi]
 	var total float64
 	var count int
@@ -27,7 +31,7 @@ func (m *Model) crossViewStep(pi int) float64 {
 			src, dst = pr.J, pr.I
 			fwd, bwd = m.trans[pi][1], m.trans[pi][0]
 		}
-		segs := m.sampleCommonSegments(pi, side)
+		segs := m.sampleCommonSegments(pi, side, rng)
 		for _, seg := range segs {
 			total += m.trainSegment(seg, src, dst, fwd, bwd)
 			count++
@@ -45,7 +49,7 @@ func (m *Model) crossViewStep(pi int) float64 {
 // It keeps sampling until CrossPathsPerPair segments are collected or a
 // sampling budget is exhausted (sparse overlaps may not support the full
 // quota).
-func (m *Model) sampleCommonSegments(pi, side int) [][]graph.NodeID {
+func (m *Model) sampleCommonSegments(pi, side int, rng *rand.Rand) [][]graph.NodeID {
 	sub := m.subviews[pi][side]
 	other := m.subviews[pi][1-side]
 	walker := m.subWalkers[pi][side]
@@ -58,8 +62,8 @@ func (m *Model) sampleCommonSegments(pi, side int) [][]graph.NodeID {
 	budget := want * 8
 	for len(segs) < want && budget > 0 {
 		budget--
-		start := m.rng.Intn(sub.NumNodes())
-		p := walker.Walk(sub, start, m.Cfg.WalkLength, m.rng)
+		start := rng.Intn(sub.NumNodes())
+		p := walker.Walk(sub, start, m.Cfg.WalkLength, rng)
 		// Keep only nodes present in both subviews.
 		var shared []graph.NodeID
 		for _, l := range p {
@@ -96,9 +100,9 @@ func (m *Model) trainSegment(seg []graph.NodeID, src, dst int, fwd, bwd *Transla
 	for k, gid := range seg {
 		srcLoc[k] = srcView.Local(gid)
 		dstLoc[k] = dstView.Local(gid)
-		A.SetRow(k, srcEmb.In.Row(srcLoc[k]))
-		Atgt.SetRow(k, dstEmb.In.Row(dstLoc[k]))
 	}
+	gatherRows(A, srcEmb.In, srcLoc)
+	gatherRows(Atgt, dstEmb.In, dstLoc)
 
 	tp := autodiff.NewTape()
 	tA := tp.Param(A)
@@ -142,18 +146,8 @@ func (m *Model) trainSegment(seg []graph.NodeID, src, dst int, fwd, bwd *Transla
 	// translator warm-up iteration.
 	if m.crossEmbedUpdates {
 		lr := m.Cfg.LRCross
-		for k := range seg {
-			row := srcEmb.In.Row(srcLoc[k])
-			g := tA.Grad.Row(k)
-			for i := range row {
-				row[i] -= lr * g[i]
-			}
-			row = dstEmb.In.Row(dstLoc[k])
-			g = tB.Grad.Row(k)
-			for i := range row {
-				row[i] -= lr * g[i]
-			}
-		}
+		scatterRowGrads(srcEmb.In, srcLoc, tA.Grad, lr)
+		scatterRowGrads(dstEmb.In, dstLoc, tB.Grad, lr)
 	}
 	// Translator parameter updates. When reconstruction is disabled the
 	// backward translator never ran; discard its (empty) records.
@@ -164,6 +158,51 @@ func (m *Model) trainSegment(seg []graph.NodeID, src, dst int, fwd, bwd *Transla
 		bwd.Step()
 	}
 	return loss.Value.At(0, 0)
+}
+
+// gatherRows copies src rows named by loc into consecutive rows of dst.
+//
+// gatherRows and scatterRowGrads are the only places where concurrent
+// cross-view pair steps touch shared memory: two pairs that share a
+// view read and write that view's embedding rows without
+// synchronization (Hogwild, like the skip-gram shards — see
+// skipgram.TrainPair). The races are intentional and benign on
+// platforms with atomic aligned 64-bit loads/stores: a stale read or
+// lost update perturbs one stochastic gradient step. go:norace scopes
+// the race-detector exemption to exactly these row copies, keeping the
+// rest of the pair step (translators, tape, pool) fully instrumented;
+// go:noinline keeps the annotation effective when called from
+// instrumented code. Deterministic mode never overlaps pair steps, so
+// there the helpers are plain copies.
+//
+//go:norace
+//go:noinline
+func gatherRows(dst, src *mat.Dense, loc []int) {
+	// Element copies are written out by hand: go:norace covers only this
+	// body, so delegating to the (instrumented) mat.Dense.SetRow would
+	// reintroduce the reports this directive is scoped to suppress.
+	for k, l := range loc {
+		d := dst.Row(k)
+		s := src.Row(l)
+		for i := range d {
+			d[i] = s[i]
+		}
+	}
+}
+
+// scatterRowGrads applies dst.Row(loc[k]) -= lr * grad.Row(k) for every
+// segment position k. See gatherRows for the concurrency contract.
+//
+//go:norace
+//go:noinline
+func scatterRowGrads(dst *mat.Dense, loc []int, grad *mat.Dense, lr float64) {
+	for k, l := range loc {
+		row := dst.Row(l)
+		g := grad.Row(k)
+		for i := range row {
+			row[i] -= lr * g[i]
+		}
+	}
 }
 
 // similarityLoss scores how close translated is to target under the

@@ -3,12 +3,36 @@ package transn
 import (
 	"fmt"
 	"math/rand"
-	"sync"
 
 	"transn/internal/graph"
 	"transn/internal/mat"
+	"transn/internal/par"
+	"transn/internal/rngstream"
 	"transn/internal/skipgram"
 	"transn/internal/walk"
+)
+
+// RNG stream kinds. Every random stream consumed during training is
+// derived exactly once, as rngstream.Derive(Seed, kind, index...), so
+// the full stream layout is auditable from these constants:
+//
+//	streamInit       (view)            view-embedding initialization
+//	streamTranslator (pair, side)      translator parameter init
+//	streamWalk       (view, iteration) walk-corpus base seed; walk
+//	                                   shards derive (base, shard)
+//	streamTrain      (view, iteration) skip-gram base seed; training
+//	                                   shards derive (base, shard)
+//	streamCross      (pair)            cross-view segment sampling, one
+//	                                   persistent stream per pair
+//
+// No rand.Rand is ever shared between goroutines: each shard and each
+// pair step owns its stream. See DESIGN.md §6.
+const (
+	streamInit int64 = iota
+	streamTranslator
+	streamWalk
+	streamTrain
+	streamCross
 )
 
 // Model is a trained TransN instance. Construct one with Train.
@@ -26,14 +50,14 @@ type Model struct {
 	samplers []*skipgram.NegSampler
 	// walkers[v] samples single-view paths in view v.
 	walkers []walk.Walker
-	// viewRngs[v] is view v's private RNG under Config.Parallel.
-	viewRngs []*rand.Rand
 	// subWalkers[p] sample cross-view paths in each paired-subview.
 	subWalkers [][2]walk.Walker
 	// trans[p] = {T_{i→j}, T_{j→i}} for pairs[p].
 	trans [][2]*Translator
-
-	rng *rand.Rand
+	// pairRngs[p] is pair p's persistent sampling stream (streamCross).
+	// A pair step runs on at most one worker at a time, so the stream is
+	// never shared between goroutines.
+	pairRngs []*rand.Rand
 
 	// crossEmbedUpdates gates embedding updates in the cross-view step:
 	// during the first iteration only the translators train (warm-up),
@@ -51,7 +75,13 @@ type IterStats struct {
 	CrossLoss  float64 // mean cross-view segment loss across pairs
 }
 
-// Train runs Algorithm 1 on g and returns the trained model.
+// Train runs Algorithm 1 on g and returns the trained model. Work is
+// sharded across a pool of Cfg.Workers goroutines *within* each view:
+// walk generation and skip-gram training shard over start nodes and
+// walk batches, and cross-view pair steps fan out over the same pool —
+// so a graph with few edge types still saturates a large machine. See
+// Config.Workers and Config.DeterministicApply for the concurrency and
+// reproducibility contract.
 func Train(g *graph.Graph, cfg Config) (*Model, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.Validate(); err != nil {
@@ -61,7 +91,6 @@ func Train(g *graph.Graph, cfg Config) (*Model, error) {
 		Cfg:   cfg,
 		Graph: g,
 		views: g.Views(),
-		rng:   rand.New(rand.NewSource(cfg.Seed)),
 	}
 	if len(m.views) == 0 {
 		return nil, fmt.Errorf("transn: graph has no edge types, nothing to train")
@@ -78,47 +107,42 @@ func Train(g *graph.Graph, cfg Config) (*Model, error) {
 		}
 		var st IterStats
 		st.Iteration = iter
-		losses := make([]float64, len(m.views))
-		active := make([]bool, len(m.views))
-		if cfg.Parallel {
-			var wg sync.WaitGroup
-			for vi := range m.views {
-				if m.views[vi].NumNodes() == 0 {
-					continue
-				}
-				active[vi] = true
-				wg.Add(1)
-				go func(vi int) {
-					defer wg.Done()
-					losses[vi] = m.singleViewStep(vi, lrS, m.viewRngs[vi])
-				}(vi)
-			}
-			wg.Wait()
-		} else {
-			for vi := range m.views {
-				if m.views[vi].NumNodes() == 0 {
-					continue
-				}
-				active[vi] = true
-				losses[vi] = m.singleViewStep(vi, lrS, m.rng)
-			}
-		}
+		// Single-view passes: views run in sequence, each view sharding
+		// its walks and skip-gram updates across the full pool. (The old
+		// scheme of one goroutine per view capped parallelism at the
+		// number of edge types.)
 		var sum float64
 		var n int
-		for vi, ok := range active {
-			if ok {
-				sum += losses[vi]
-				n++
+		for vi := range m.views {
+			if m.views[vi].NumNodes() == 0 {
+				continue
 			}
+			sum += m.singleViewStep(vi, iter, lrS)
+			n++
 		}
 		if n > 0 {
 			st.SingleLoss = sum / float64(n)
 		}
 		if !cfg.NoCrossView && len(m.pairs) > 0 {
 			m.crossEmbedUpdates = iter > 0 || cfg.Iterations == 1
+			// Pair steps fan out over the pool. Pairs sharing a view make
+			// unsynchronized (Hogwild) updates to that view's embedding
+			// rows — see the gather/scatter helpers in crossview.go. The
+			// deterministic mode applies pairs serially in pair order.
+			closs := make([]float64, len(m.pairs))
+			step := func(pi int) {
+				closs[pi] = m.crossViewStep(pi, m.pairRngs[pi])
+			}
+			if cfg.DeterministicApply {
+				for pi := range m.pairs {
+					step(pi)
+				}
+			} else {
+				par.Run(cfg.Workers, len(m.pairs), step)
+			}
 			var csum float64
-			for pi := range m.pairs {
-				csum += m.crossViewStep(pi)
+			for _, c := range closs {
+				csum += c
 			}
 			st.CrossLoss = csum / float64(len(m.pairs))
 		}
@@ -128,21 +152,19 @@ func Train(g *graph.Graph, cfg Config) (*Model, error) {
 }
 
 // initViews builds per-view embeddings, negative samplers and walkers.
+// Each view's embedding table is initialized from its own derived
+// stream (streamInit, view) — never from a generator shared with the
+// training loop — so initialization is identical no matter how many
+// workers later train.
 func (m *Model) initViews() {
 	m.emb = make([]*skipgram.Model, len(m.views))
 	m.samplers = make([]*skipgram.NegSampler, len(m.views))
 	m.walkers = make([]walk.Walker, len(m.views))
-	if m.Cfg.Parallel {
-		m.viewRngs = make([]*rand.Rand, len(m.views))
-		for i := range m.viewRngs {
-			m.viewRngs[i] = rand.New(rand.NewSource(m.Cfg.Seed*1000003 + int64(i)))
-		}
-	}
 	for i, v := range m.views {
 		if v.NumNodes() == 0 {
 			continue
 		}
-		m.emb[i] = skipgram.NewModel(v.NumNodes(), m.Cfg.Dim, m.rng)
+		m.emb[i] = skipgram.NewModel(v.NumNodes(), m.Cfg.Dim, rngstream.New(m.Cfg.Seed, streamInit, int64(i)))
 		freq := make([]float64, v.NumNodes())
 		for l := range freq {
 			freq[l] = v.WeightedDegree(l)
@@ -156,37 +178,49 @@ func (m *Model) initViews() {
 	}
 }
 
-// initPairs builds view-pairs, paired-subviews, their walkers, and the
-// two translators per pair.
+// initPairs builds view-pairs, paired-subviews, their walkers, the two
+// translators per pair, and each pair's private sampling stream.
 func (m *Model) initPairs() {
 	m.pairs = m.Graph.ViewPairs()
 	m.subviews = make([][2]*graph.View, len(m.pairs))
 	m.subWalkers = make([][2]walk.Walker, len(m.pairs))
 	m.trans = make([][2]*Translator, len(m.pairs))
+	m.pairRngs = make([]*rand.Rand, len(m.pairs))
 	for p, pr := range m.pairs {
 		si := graph.PairedSubview(m.views[pr.I], pr.Common)
 		sj := graph.PairedSubview(m.views[pr.J], pr.Common)
 		m.subviews[p] = [2]*graph.View{si, sj}
 		m.subWalkers[p] = [2]walk.Walker{walk.NewCorrelated(si), walk.NewCorrelated(sj)}
 		m.trans[p] = [2]*Translator{
-			NewTranslator(m.Cfg.Encoders, m.Cfg.CrossPathLen, m.Cfg.SimpleTranslator, m.Cfg.LRCross, m.rng),
-			NewTranslator(m.Cfg.Encoders, m.Cfg.CrossPathLen, m.Cfg.SimpleTranslator, m.Cfg.LRCross, m.rng),
+			NewTranslator(m.Cfg.Encoders, m.Cfg.CrossPathLen, m.Cfg.SimpleTranslator, m.Cfg.LRCross,
+				rngstream.New(m.Cfg.Seed, streamTranslator, int64(p), 0)),
+			NewTranslator(m.Cfg.Encoders, m.Cfg.CrossPathLen, m.Cfg.SimpleTranslator, m.Cfg.LRCross,
+				rngstream.New(m.Cfg.Seed, streamTranslator, int64(p), 1)),
 		}
+		m.pairRngs[p] = rngstream.New(m.Cfg.Seed, streamCross, int64(p))
 	}
 }
 
 // singleViewStep runs one skip-gram pass over fresh walks from view vi
-// (Algorithm 1 lines 3–7) using rng, and returns the mean pair loss.
-func (m *Model) singleViewStep(vi int, lr float64, rng *rand.Rand) float64 {
+// (Algorithm 1 lines 3–7) and returns the mean pair loss. Walk
+// generation shards start nodes across the pool under the per-iteration
+// base stream (streamWalk, vi, iter); training shards the resulting
+// corpus under (streamTrain, vi, iter).
+func (m *Model) singleViewStep(vi, iter int, lr float64) float64 {
 	v := m.views[vi]
 	cfg := walk.CorpusConfig{
 		WalkLength:      m.Cfg.WalkLength,
 		MinWalksPerNode: m.Cfg.MinWalksPerNode,
 		MaxWalksPerNode: m.Cfg.MaxWalksPerNode,
 	}
+	walkSeed := rngstream.Derive(m.Cfg.Seed, streamWalk, int64(vi), int64(iter))
+	trainSeed := rngstream.Derive(m.Cfg.Seed, streamTrain, int64(vi), int64(iter))
 	var paths [][]int
 	if m.Cfg.SimpleWalk {
 		// Ablation: uniformly random starting nodes, weights ignored.
+		// Start nodes are a single sequential draw, so this path stays
+		// serial; the subsequent training pass still shards.
+		rng := rngstream.New(walkSeed)
 		total := 0
 		for l := 0; l < v.NumNodes(); l++ {
 			total += cfg.WalksFor(v.Degree(l))
@@ -198,10 +232,11 @@ func (m *Model) singleViewStep(vi int, lr float64, rng *rand.Rand) float64 {
 			}
 		}
 	} else {
-		paths = walk.Corpus(v, m.walkers[vi], cfg, rng)
+		paths = walk.CorpusParallel(v, m.walkers[vi], cfg, walkSeed, m.Cfg.Workers)
 	}
 	offsets := skipgram.ContextOffsets(v.Hetero)
-	return m.emb[vi].TrainCorpus(paths, offsets, m.Cfg.NegativeSamples, lr, m.samplers[vi], rng)
+	return m.emb[vi].TrainCorpusParallel(paths, offsets, m.Cfg.NegativeSamples, lr, m.samplers[vi],
+		trainSeed, m.Cfg.Workers, m.Cfg.DeterministicApply)
 }
 
 // Embeddings returns the final node embeddings: one row per global node,

@@ -4,6 +4,8 @@ import (
 	"math/rand"
 
 	"transn/internal/graph"
+	"transn/internal/par"
+	"transn/internal/rngstream"
 )
 
 // CorpusConfig controls corpus generation. The paper sets WalkLength=80
@@ -37,8 +39,15 @@ func (c CorpusConfig) WalksFor(degree int) int {
 // Corpus samples random walks from every node of the view using walker w.
 // Paths hold view-local node indices.
 func Corpus(v *graph.View, w Walker, cfg CorpusConfig, rng *rand.Rand) [][]int {
+	return corpusRange(v, w, cfg, 0, v.NumNodes(), rng)
+}
+
+// corpusRange samples the configured walks for start nodes in [lo, hi).
+// Corpus and CorpusParallel are both built from this, so a one-shard
+// parallel corpus is byte-identical to a serial one.
+func corpusRange(v *graph.View, w Walker, cfg CorpusConfig, lo, hi int, rng *rand.Rand) [][]int {
 	var paths [][]int
-	for l := 0; l < v.NumNodes(); l++ {
+	for l := lo; l < hi; l++ {
 		k := cfg.WalksFor(v.Degree(l))
 		for i := 0; i < k; i++ {
 			p := w.Walk(v, l, cfg.WalkLength, rng)
@@ -46,6 +55,46 @@ func Corpus(v *graph.View, w Walker, cfg CorpusConfig, rng *rand.Rand) [][]int {
 				paths = append(paths, p)
 			}
 		}
+	}
+	return paths
+}
+
+// CorpusParallel samples the same per-node walk counts as Corpus but
+// shards start nodes across a worker pool: shard s covers the s-th
+// contiguous slice of the view's nodes and owns the private RNG stream
+// rngstream(seed, s), so the result is deterministic for a fixed
+// (seed, workers) regardless of goroutine scheduling — shard outputs
+// are concatenated in shard order. With workers <= 1 this is exactly
+// Corpus under stream (seed, 0).
+//
+// Walkers that cache per-node tables lazily (Biased, Correlated) are
+// prepared eagerly first, so the shared walker is read-only while
+// shards run.
+func CorpusParallel(v *graph.View, w Walker, cfg CorpusConfig, seed int64, workers int) [][]int {
+	n := v.NumNodes()
+	if workers <= 1 || n <= 1 {
+		return Corpus(v, w, cfg, rngstream.New(seed, 0))
+	}
+	if p, ok := w.(Preparer); ok {
+		p.Prepare()
+	}
+	shards := workers
+	if shards > n {
+		shards = n
+	}
+	perShard := make([][][]int, shards)
+	par.Run(workers, shards, func(s int) {
+		lo := s * n / shards
+		hi := (s + 1) * n / shards
+		perShard[s] = corpusRange(v, w, cfg, lo, hi, rngstream.New(seed, int64(s)))
+	})
+	total := 0
+	for _, p := range perShard {
+		total += len(p)
+	}
+	paths := make([][]int, 0, total)
+	for _, p := range perShard {
+		paths = append(paths, p...)
 	}
 	return paths
 }

@@ -7,6 +7,7 @@ import (
 	"testing/quick"
 
 	"transn/internal/graph"
+	"transn/internal/rngstream"
 )
 
 func TestAliasMatchesDistribution(t *testing.T) {
@@ -411,6 +412,165 @@ func TestCorpusProperty(t *testing.T) {
 	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// randomView builds a random bipartite heter-view with rng-driven size
+// and weights, for property tests over many graph shapes. Every node is
+// attached to at least one edge (views never contain isolated nodes).
+func randomView(seed int64) *graph.View {
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder()
+	left := b.NodeType("left")
+	right := b.NodeType("right")
+	et := b.EdgeType("e")
+	nl := 2 + rng.Intn(10)
+	nr := 2 + rng.Intn(10)
+	var ls, rs []graph.NodeID
+	for i := 0; i < nl; i++ {
+		ls = append(ls, b.AddNode(left, ""))
+	}
+	for i := 0; i < nr; i++ {
+		rs = append(rs, b.AddNode(right, ""))
+	}
+	seen := map[[2]graph.NodeID]bool{}
+	add := func(u, v graph.NodeID) {
+		k := [2]graph.NodeID{u, v}
+		if seen[k] {
+			return
+		}
+		seen[k] = true
+		b.AddEdge(u, v, et, 0.5+4.5*rng.Float64())
+	}
+	// Spanning attachment so no node is isolated, then random extras.
+	for i, u := range ls {
+		add(u, rs[i%nr])
+	}
+	for _, v := range rs {
+		add(ls[rng.Intn(nl)], v)
+	}
+	extra := rng.Intn(2 * nl * nr / 3)
+	for i := 0; i < extra; i++ {
+		add(ls[rng.Intn(nl)], rs[rng.Intn(nr)])
+	}
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g.Views()[0]
+}
+
+// walkCounts tallies corpus paths by start node and verifies every
+// consecutive pair is a real edge of the view.
+func walkCounts(t *testing.T, v *graph.View, paths [][]int) []int {
+	t.Helper()
+	counts := make([]int, v.NumNodes())
+	for _, p := range paths {
+		if len(p) < 2 {
+			t.Fatalf("corpus contains a too-short path %v", p)
+		}
+		counts[p[0]]++
+		if !pathAdjacent(v, p) {
+			t.Fatalf("non-adjacent step in path %v", p)
+		}
+	}
+	return counts
+}
+
+// Property (CorpusParallel vs Corpus): for random graphs, seeds and
+// worker counts, the sharded corpus produces exactly the same per-node
+// walk counts as the serial corpus and walks only real edges.
+func TestCorpusParallelProperty(t *testing.T) {
+	cfg := CorpusConfig{WalkLength: 9, MinWalksPerNode: 2, MaxWalksPerNode: 5}
+	f := func(seed int64) bool {
+		v := randomView(seed)
+		serial := Corpus(v, NewCorrelated(v), cfg, rand.New(rand.NewSource(seed)))
+		want := walkCounts(t, v, serial)
+		for _, workers := range []int{1, 2, 3, 8, 100} {
+			paths := CorpusParallel(v, NewCorrelated(v), cfg, seed, workers)
+			got := walkCounts(t, v, paths)
+			for l := range want {
+				if got[l] != want[l] {
+					t.Logf("seed %d workers %d: node %d count %d want %d", seed, workers, l, got[l], want[l])
+					return false
+				}
+				if got[l] != cfg.WalksFor(v.Degree(l)) {
+					t.Logf("seed %d workers %d: node %d count %d violates WalksFor", seed, workers, l, got[l])
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// CorpusParallel with one worker must be byte-identical to the serial
+// Corpus under the shard-0 stream: Workers=1 IS the serial path.
+func TestCorpusParallelOneWorkerMatchesSerial(t *testing.T) {
+	_, v, _ := ratingView(t)
+	cfg := CorpusConfig{WalkLength: 10, MinWalksPerNode: 3, MaxWalksPerNode: 5}
+	const seed = 77
+	got := CorpusParallel(v, NewCorrelated(v), cfg, seed, 1)
+	want := Corpus(v, NewCorrelated(v), cfg, rngstream.New(seed, 0))
+	if len(got) != len(want) {
+		t.Fatalf("corpus sizes differ: %d vs %d", len(got), len(want))
+	}
+	for i := range got {
+		if len(got[i]) != len(want[i]) {
+			t.Fatalf("path %d lengths differ", i)
+		}
+		for j := range got[i] {
+			if got[i][j] != want[i][j] {
+				t.Fatalf("path %d diverges at step %d", i, j)
+			}
+		}
+	}
+}
+
+// CorpusParallel must be reproducible for a fixed (seed, workers)
+// regardless of goroutine scheduling: shard outputs concatenate in
+// shard order.
+func TestCorpusParallelDeterministicPerWorkerCount(t *testing.T) {
+	v := randomView(123)
+	cfg := CorpusConfig{WalkLength: 8, MinWalksPerNode: 2, MaxWalksPerNode: 4}
+	for _, workers := range []int{2, 4, 7} {
+		a := CorpusParallel(v, NewCorrelated(v), cfg, 9, workers)
+		b := CorpusParallel(v, NewCorrelated(v), cfg, 9, workers)
+		if len(a) != len(b) {
+			t.Fatalf("workers=%d: sizes %d vs %d", workers, len(a), len(b))
+		}
+		for i := range a {
+			for j := range a[i] {
+				if a[i][j] != b[i][j] {
+					t.Fatalf("workers=%d: path %d step %d differs", workers, i, j)
+				}
+			}
+		}
+	}
+}
+
+// Prepare must build every cache the walkers would build lazily, so a
+// prepared walker is read-only under concurrent walks.
+func TestPrepareBuildsAllCaches(t *testing.T) {
+	_, v, _ := ratingView(t)
+	cw := NewCorrelated(v)
+	cw.Prepare()
+	for l := 0; l < v.NumNodes(); l++ {
+		if ns, _ := v.Neighbors(l); len(ns) == 0 {
+			continue // isolated nodes have no table to build
+		}
+		if cw.biased.tables[l] == nil {
+			t.Fatalf("alias table %d not built", l)
+		}
+		if cw.delta[l] < 0 {
+			t.Fatalf("delta %d not built", l)
+		}
+	}
+	// Subviews (as used by cross-view sampling) must prepare cleanly too.
+	sub := graph.PairedSubview(v, []graph.NodeID{v.Global(0)})
+	NewCorrelated(sub).Prepare()
 }
 
 // ratingViewSeed builds the Figure 4 view without a testing.TB, for

@@ -13,6 +13,14 @@ type Walker interface {
 	Walk(v *graph.View, start, length int, rng *rand.Rand) []int
 }
 
+// A Preparer is a Walker with lazily-built per-node caches. Prepare
+// builds every cache eagerly so the walker becomes read-only and can be
+// shared by concurrent walks; CorpusParallel calls it before fanning
+// out. Prepare is idempotent but is NOT itself safe for concurrent use.
+type Preparer interface {
+	Prepare()
+}
+
 // Simple performs unweighted uniform random walks, the "simple random
 // walk" of the ablation TransN-With-Simple-Walk: edge weights are
 // ignored and every neighbor is equally likely.
@@ -53,6 +61,16 @@ func (b *Biased) table(l int) *Alias {
 		b.tables[l] = NewAlias(ws)
 	}
 	return b.tables[l]
+}
+
+// Prepare implements Preparer: it builds the alias table of every
+// non-isolated node so concurrent Walk calls only read.
+func (b *Biased) Prepare() {
+	for l := 0; l < b.view.NumNodes(); l++ {
+		if ns, _ := b.view.Neighbors(l); len(ns) > 0 {
+			b.table(l)
+		}
+	}
 }
 
 // Walk implements Walker.
@@ -102,6 +120,18 @@ func NewCorrelated(v *graph.View) *Correlated {
 		d[i] = -1
 	}
 	return &Correlated{biased: NewBiased(v), delta: d}
+}
+
+// Prepare implements Preparer: it builds every alias table and Δ cache
+// so concurrent Walk calls only read.
+func (c *Correlated) Prepare() {
+	v := c.biased.view
+	c.biased.Prepare()
+	for l := 0; l < v.NumNodes(); l++ {
+		if ns, _ := v.Neighbors(l); len(ns) > 0 {
+			c.deltaOf(v, l)
+		}
+	}
 }
 
 func (c *Correlated) deltaOf(v *graph.View, l int) float64 {
