@@ -11,6 +11,14 @@
 // By default runs use quick (small) settings; -full switches to larger
 // networks and paper-like hyperparameters. -points writes Figure 6
 // coordinates as TSV to the given file.
+//
+// Every experiment runs under a telemetry span; -timings prints the
+// per-experiment wall time from those spans, -report writes the whole
+// run as a schema-stable JSON report (obs.ReportSchema) whose metrics
+// section carries each result number keyed as
+// "<experiment>/<dataset>/<method>/<metric>", and -debug-addr serves
+// live /metrics, /debug/vars and /debug/pprof/* while the run is in
+// flight.
 package main
 
 import (
@@ -20,21 +28,24 @@ import (
 	"time"
 
 	"transn/internal/experiments"
+	"transn/internal/obs"
 )
 
 func main() {
 	var (
-		table   = flag.Int("table", 0, "table to regenerate (2, 3, 4, or 5)")
-		figure  = flag.Int("figure", 0, "figure to regenerate (6)")
-		all     = flag.Bool("all", false, "regenerate every table and figure")
-		cluster = flag.Bool("cluster", false, "run the node-clustering extension task (NMI)")
-		full    = flag.Bool("full", false, "use full-size networks and paper-like settings")
-		seed    = flag.Int64("seed", 1, "random seed")
-		dim     = flag.Int("dim", 0, "embedding dimensionality (default 32 quick / 64 full)")
-		reps    = flag.Int("reps", 0, "classification repetitions (default 3 quick / 10 full)")
-		points  = flag.String("points", "", "write Figure 6 coordinates as TSV to this file")
-		workers = flag.Int("workers", 0, "TransN worker-pool size (0 = all cores, 1 = serial)")
-		timings = flag.Bool("timings", false, "print wall-clock time per experiment")
+		table     = flag.Int("table", 0, "table to regenerate (2, 3, 4, or 5)")
+		figure    = flag.Int("figure", 0, "figure to regenerate (6)")
+		all       = flag.Bool("all", false, "regenerate every table and figure")
+		cluster   = flag.Bool("cluster", false, "run the node-clustering extension task (NMI)")
+		full      = flag.Bool("full", false, "use full-size networks and paper-like settings")
+		seed      = flag.Int64("seed", 1, "random seed")
+		dim       = flag.Int("dim", 0, "embedding dimensionality (default 32 quick / 64 full)")
+		reps      = flag.Int("reps", 0, "classification repetitions (default 3 quick / 10 full)")
+		points    = flag.String("points", "", "write Figure 6 coordinates as TSV to this file")
+		workers   = flag.Int("workers", 0, "TransN worker-pool size (0 = all cores, 1 = serial)")
+		timings   = flag.Bool("timings", false, "print wall-clock time per experiment")
+		report    = flag.String("report", "", "write the run's telemetry report as JSON to this file")
+		debugAddr = flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address while running")
 	)
 	flag.Parse()
 
@@ -51,19 +62,41 @@ func main() {
 	}
 	opts.Workers = *workers
 
-	if !*all && *table == 0 && *figure == 0 {
+	if !*all && *table == 0 && *figure == 0 && !*cluster {
 		flag.Usage()
 		os.Exit(2)
 	}
 
+	tel := obs.NewRun()
+	if *debugAddr != "" {
+		tel.PublishExpvar("benchrun")
+		srv, addr, err := tel.ServeDebug(*debugAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchrun: -debug-addr: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "debug server listening on %s\n", addr)
+	}
+	metrics := map[string]float64{}
+	record := func(experiment string, rows []experiments.Row) {
+		for _, r := range rows {
+			for metric, v := range r.Metrics {
+				metrics[experiment+"/"+r.Dataset+"/"+r.Method+"/"+metric] = v
+			}
+		}
+	}
+
 	run := func(name string, f func() error) {
-		start := time.Now()
+		span := tel.Trace.Start(name)
 		if err := f(); err != nil {
+			span.End()
 			fmt.Fprintf(os.Stderr, "benchrun: %s: %v\n", name, err)
 			os.Exit(1)
 		}
+		d := span.End()
 		if *timings {
-			fmt.Printf("[%s took %v]\n", name, time.Since(start).Round(time.Millisecond))
+			fmt.Printf("[%s took %v]\n", name, d.Round(time.Millisecond))
 		}
 		fmt.Println()
 	}
@@ -76,25 +109,29 @@ func main() {
 	}
 	if *all || *table == 3 {
 		run("table3", func() error {
-			_, err := experiments.Table3(os.Stdout, opts)
+			rows, err := experiments.Table3(os.Stdout, opts)
+			record("table3", rows)
 			return err
 		})
 	}
 	if *all || *table == 4 {
 		run("table4", func() error {
-			_, err := experiments.Table4(os.Stdout, opts)
+			rows, err := experiments.Table4(os.Stdout, opts)
+			record("table4", rows)
 			return err
 		})
 	}
 	if *all || *table == 5 {
 		run("table5", func() error {
-			_, err := experiments.Table5(os.Stdout, opts)
+			rows, err := experiments.Table5(os.Stdout, opts)
+			record("table5", rows)
 			return err
 		})
 	}
 	if *cluster {
 		run("clustering", func() error {
-			_, err := experiments.TableClustering(os.Stdout, opts)
+			rows, err := experiments.TableClustering(os.Stdout, opts)
+			record("clustering", rows)
 			return err
 		})
 	}
@@ -105,6 +142,7 @@ func main() {
 				return err
 			}
 			for _, r := range results {
+				metrics["figure6/App-Daily/"+r.Method+"/Silhouette"] = r.Silhouette
 				experiments.RenderScatter(os.Stdout,
 					fmt.Sprintf("%s (silhouette %.4f)", r.Method, r.Silhouette),
 					r.Points, r.Labels, 72, 24)
@@ -120,5 +158,27 @@ func main() {
 			}
 			return nil
 		})
+	}
+
+	if *report != "" {
+		rep := tel.Report("benchrun")
+		if len(metrics) > 0 {
+			rep.Metrics = metrics
+		}
+		f, err := os.Create(*report)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchrun: -report: %v\n", err)
+			os.Exit(1)
+		}
+		if err := obs.WriteReport(f, rep); err != nil {
+			f.Close()
+			fmt.Fprintf(os.Stderr, "benchrun: -report: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "benchrun: -report: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote telemetry report to %s\n", *report)
 	}
 }

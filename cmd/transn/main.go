@@ -24,8 +24,10 @@ package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strconv"
@@ -42,8 +44,20 @@ import (
 	"transn/internal/dataset"
 	"transn/internal/graph"
 	"transn/internal/mat"
+	"transn/internal/obs"
 	"transn/internal/transn"
 )
+
+// quiet suppresses the informational stderr lines (-quiet on train):
+// results, reports and errors still print.
+var quiet bool
+
+// infof prints a progress line to stderr unless -quiet was given.
+func infof(format string, args ...any) {
+	if !quiet {
+		fmt.Fprintf(os.Stderr, format, args...)
+	}
+}
 
 func main() {
 	if len(os.Args) < 2 {
@@ -62,6 +76,8 @@ func main() {
 		err = cmdNeighbors(os.Args[2:])
 	case "evaluate":
 		err = cmdEvaluate(os.Args[2:])
+	case "checkreport":
+		err = cmdCheckReport(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -76,16 +92,18 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: transn <train|stats|generate|neighbors|evaluate> [flags]
+	fmt.Fprintln(os.Stderr, `usage: transn <train|stats|generate|neighbors|evaluate|checkreport> [flags]
 
-  train      -input net.tsv -output emb.tsv [-method transn] [-dim 64]
-             [-seed 1] [-iterations 5] [-walklen 40] [-encoders 2]
-             [-metapath a,b,a] [-ablation <name>]
-  stats      -input net.tsv
-  generate   -dataset AMiner|BLOG|App-Daily|App-Weekly -output net.tsv
-             [-size quick|full] [-seed 1]
-  neighbors  -input net.tsv -emb emb.tsv -node NAME [-k 10]
-  evaluate   -input net.tsv -emb emb.tsv -task classify|cluster`)
+  train       -input net.tsv -output emb.tsv [-method transn] [-dim 64]
+              [-seed 1] [-iterations 5] [-walklen 40] [-encoders 2]
+              [-metapath a,b,a] [-ablation <name>] [-quiet]
+              [-report rep.json] [-events ev.jsonl] [-debug-addr :6060]
+  stats       -input net.tsv
+  generate    -dataset AMiner|BLOG|App-Daily|App-Weekly -output net.tsv
+              [-size quick|full] [-seed 1]
+  neighbors   -input net.tsv -emb emb.tsv -node NAME [-k 10]
+  evaluate    -input net.tsv -emb emb.tsv -task classify|cluster
+  checkreport -report rep.json`)
 }
 
 func loadGraph(path string) (*graph.Graph, error) {
@@ -113,7 +131,12 @@ func cmdTrain(args []string) error {
 	deterministic := fs.Bool("deterministic", false, "apply sharded updates in deterministic order (reproducible for a fixed -seed and -workers; default is Hogwild)")
 	parallel := fs.Bool("parallel", false, "deprecated alias for -workers 0 -deterministic (TransN only)")
 	modelOut := fs.String("model", "", "also save the trained TransN model (gob) to this path")
+	quietFlag := fs.Bool("quiet", false, "suppress informational stderr output (results and errors only)")
+	reportOut := fs.String("report", "", "write the training telemetry report as JSON to this path (TransN only)")
+	eventsOut := fs.String("events", "", "stream training events as JSON lines to this path, or - for stderr (TransN only)")
+	debugAddr := fs.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address while training")
 	fs.Parse(args)
+	quiet = *quietFlag
 	if *input == "" || *output == "" {
 		return fmt.Errorf("train: -input and -output are required")
 	}
@@ -121,21 +144,58 @@ func cmdTrain(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "loaded %d nodes, %d edges, %d node types, %d edge types\n",
+	infof("loaded %d nodes, %d edges, %d node types, %d edge types\n",
 		g.NumNodes(), g.NumEdges(), g.NumNodeTypes(), g.NumEdgeTypes())
 
 	m, err := resolveMethod(g, *method, *metapath, *ablation, *iterations, *walklen, *encoders)
 	if err != nil {
 		return err
 	}
+	var run *obs.Run
+	if *debugAddr != "" || *reportOut != "" {
+		run = obs.NewRun()
+	}
+	if *debugAddr != "" {
+		run.PublishExpvar("transn")
+		srv, addr, err := run.ServeDebug(*debugAddr)
+		if err != nil {
+			return fmt.Errorf("train: -debug-addr: %w", err)
+		}
+		defer srv.Close()
+		infof("debug server listening on %s\n", addr)
+	}
 	if tm, ok := m.(transnMethod); ok {
 		tm.cfg.Workers = *workers
 		tm.cfg.DeterministicApply = *deterministic
 		tm.cfg.Parallel = *parallel
+		tm.cfg.Telemetry = run
 		tm.modelOut = *modelOut
+		tm.reportOut = *reportOut
+		if *eventsOut != "" {
+			var w io.Writer = os.Stderr
+			if *eventsOut != "-" {
+				f, err := os.Create(*eventsOut)
+				if err != nil {
+					return fmt.Errorf("train: -events: %w", err)
+				}
+				defer f.Close()
+				w = f
+			}
+			// Observer calls are serialized by the trainer, so one
+			// encoder is safe; one event per line (JSON Lines).
+			enc := json.NewEncoder(w)
+			tm.cfg.Observer = func(ev obs.TrainEvent) { _ = enc.Encode(ev) }
+		}
 		m = tm
-	} else if *modelOut != "" {
-		return fmt.Errorf("train: -model is only supported with -method transn")
+	} else {
+		switch {
+		case *modelOut != "":
+			return fmt.Errorf("train: -model is only supported with -method transn")
+		case *reportOut != "":
+			return fmt.Errorf("train: -report is only supported with -method transn")
+		case *eventsOut != "":
+			return fmt.Errorf("train: -events is only supported with -method transn")
+		}
 	}
 	emb, err := m.Embed(g, *dim, *seed)
 	if err != nil {
@@ -157,7 +217,28 @@ func cmdTrain(args []string) error {
 	if err := w.Flush(); err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "wrote %d %d-dimensional embeddings to %s\n", emb.R, emb.C, *output)
+	infof("wrote %d %d-dimensional embeddings to %s\n", emb.R, emb.C, *output)
+	return nil
+}
+
+// cmdCheckReport validates a telemetry report written by `train
+// -report` or `benchrun -report` against the schema — CI's telemetry
+// smoke job runs this on the artifact it uploads.
+func cmdCheckReport(args []string) error {
+	fs := flag.NewFlagSet("checkreport", flag.ExitOnError)
+	report := fs.String("report", "", "telemetry report JSON to validate (required)")
+	fs.Parse(args)
+	if *report == "" {
+		return fmt.Errorf("checkreport: -report is required")
+	}
+	data, err := os.ReadFile(*report)
+	if err != nil {
+		return err
+	}
+	if err := obs.ValidateReport(data); err != nil {
+		return fmt.Errorf("checkreport: %s: %w", *report, err)
+	}
+	fmt.Printf("%s: valid %s report\n", *report, obs.ReportSchema)
 	return nil
 }
 
@@ -194,7 +275,7 @@ func resolveMethod(g *graph.Graph, name, metapath, ablation string, iterations, 
 		pattern := strings.Split(metapath, ",")
 		if metapath == "" {
 			pattern = metapath2vec.DefaultPattern(g)
-			fmt.Fprintf(os.Stderr, "auto-derived meta-path: %s\n", strings.Join(pattern, "-"))
+			infof("auto-derived meta-path: %s\n", strings.Join(pattern, "-"))
 		}
 		return metapath2vec.Method{Pattern: pattern, WalkLength: walklen}, nil
 	case "hin2vec":
@@ -212,8 +293,9 @@ func resolveMethod(g *graph.Graph, name, metapath, ablation string, iterations, 
 
 // transnMethod adapts transn.Train to baselines.Method for the CLI.
 type transnMethod struct {
-	cfg      transn.Config
-	modelOut string
+	cfg       transn.Config
+	modelOut  string
+	reportOut string
 }
 
 func (transnMethod) Name() string { return "TransN" }
@@ -235,7 +317,21 @@ func (m transnMethod) Embed(g *graph.Graph, dim int, seed int64) (*mat.Dense, er
 		if err := model.Save(f); err != nil {
 			return nil, err
 		}
-		fmt.Fprintf(os.Stderr, "saved model to %s\n", m.modelOut)
+		infof("saved model to %s\n", m.modelOut)
+	}
+	if m.reportOut != "" {
+		f, err := os.Create(m.reportOut)
+		if err != nil {
+			return nil, err
+		}
+		if err := obs.WriteReport(f, model.Report()); err != nil {
+			f.Close()
+			return nil, err
+		}
+		if err := f.Close(); err != nil {
+			return nil, err
+		}
+		infof("wrote telemetry report to %s\n", m.reportOut)
 	}
 	return model.Embeddings(), nil
 }

@@ -8,6 +8,7 @@ import (
 	"transn/internal/dataset"
 	"transn/internal/eval"
 	"transn/internal/graph"
+	"transn/internal/obs"
 	"transn/internal/transn"
 )
 
@@ -40,11 +41,25 @@ func TestEndToEndPipeline(t *testing.T) {
 	cfg.CrossPathLen = 4
 	cfg.CrossPathsPerPair = 40
 	// Exercise the worker pool (walk + skip-gram sharding) while keeping
-	// the run reproducible on any machine.
+	// the run reproducible on any machine, with telemetry enabled the
+	// way `transn train -report -events` wires it.
 	cfg.DeterministicApply = true
+	cfg.Telemetry = obs.NewRun()
+	events := 0
+	cfg.Observer = func(obs.TrainEvent) { events++ }
 	model, err := transn.Train(g2, cfg)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if events == 0 {
+		t.Fatal("no training events observed")
+	}
+	var rbuf bytes.Buffer
+	if err := obs.WriteReport(&rbuf, model.Report()); err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.ValidateReport(rbuf.Bytes()); err != nil {
+		t.Fatalf("end-to-end training report invalid: %v", err)
 	}
 
 	// Persist + reload.

@@ -1,0 +1,25 @@
+package obs
+
+import "expvar"
+
+// PublishExpvar exposes the run under the given expvar name (shown at
+// /debug/vars) as a live JSON object: the registry snapshot plus stage
+// summaries, re-evaluated on every scrape. expvar's namespace is global
+// and write-once, so if the name is already taken — a previous run in
+// the same process — this is a no-op and the first publisher keeps the
+// name; use distinct names for concurrent runs.
+func (r *Run) PublishExpvar(name string) {
+	if r == nil || name == "" {
+		return
+	}
+	if expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any {
+		return struct {
+			Snapshot
+			Stages  []StageSummary  `json:"stages"`
+			Workers []WorkerSummary `json:"workers,omitempty"`
+		}{r.Reg.Snapshot(), r.Trace.Stages(), r.WorkerSummaries()}
+	}))
+}

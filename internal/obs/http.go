@@ -1,0 +1,41 @@
+package obs
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// ServeDebug starts the debug HTTP endpoint for the run on addr
+// (":0" picks a free port) and returns the server plus the bound
+// address. Routes:
+//
+//	/metrics        JSON run report (live snapshot)
+//	/debug/vars     expvar (Go runtime stats + anything published)
+//	/debug/pprof/   CPU/heap/goroutine/... profiles (net/http/pprof)
+//
+// The handlers are registered on a private mux — nothing leaks into
+// http.DefaultServeMux — and the server runs on its own goroutine
+// until Close/Shutdown. Both CLIs wire this behind -debug-addr.
+func (r *Run) ServeDebug(addr string) (*http.Server, string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = WriteReport(w, r.Report("live"))
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = srv.Serve(ln) }()
+	return srv, ln.Addr().String(), nil
+}

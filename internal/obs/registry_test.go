@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// Concurrent shard accumulation must merge to exact totals: counters
+// are integer atomics and LocalHist merges integer counts, so no
+// precision is lost no matter how shards interleave. This test runs
+// under -race in CI.
+func TestRegistryConcurrentMergeExact(t *testing.T) {
+	reg := NewRegistry()
+	const shards = 8
+	const perShard = 10000
+	c := reg.Counter("pairs")
+	h := reg.Histogram("loss", []float64{0.5, 1, 2})
+	var wg sync.WaitGroup
+	for s := 0; s < shards; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			// Shard-local accumulation, merged once at the boundary —
+			// the discipline the training loops use.
+			var local int64
+			lh := h.Local()
+			for i := 0; i < perShard; i++ {
+				local++
+				lh.Observe(float64(i%4) * 0.5) // 0, 0.5, 1, 1.5
+			}
+			c.Add(local)
+			lh.Flush()
+		}(s)
+	}
+	wg.Wait()
+
+	if got, want := c.Value(), int64(shards*perShard); got != want {
+		t.Fatalf("counter merged to %d, want %d", got, want)
+	}
+	snap := h.Snapshot()
+	if snap.Count != shards*perShard {
+		t.Fatalf("histogram count %d, want %d", snap.Count, shards*perShard)
+	}
+	// Buckets (bounds 0.5, 1, 2 + overflow): 0 and 0.5 land in bucket 0,
+	// 1 in bucket 1, 1.5 in bucket 2.
+	wantCounts := []int64{shards * perShard / 2, shards * perShard / 4, shards * perShard / 4, 0}
+	for i, w := range wantCounts {
+		if snap.Counts[i] != w {
+			t.Fatalf("bucket %d count %d, want %d (all: %v)", i, snap.Counts[i], w, snap.Counts)
+		}
+	}
+	// Sum of each shard: perShard/4 * (0 + 0.5 + 1 + 1.5).
+	wantSum := float64(shards) * float64(perShard) / 4 * 3
+	if math.Abs(snap.Sum-wantSum) > 1e-6 {
+		t.Fatalf("histogram sum %v, want %v", snap.Sum, wantSum)
+	}
+}
+
+// Direct atomic Observe must agree with the Local/Flush path.
+func TestHistogramObserveMatchesLocal(t *testing.T) {
+	bounds := []float64{1, 10}
+	a := newHistogram(bounds)
+	b := newHistogram(bounds)
+	lb := b.Local()
+	vals := []float64{0.5, 1, 1.0001, 5, 10, 11, -3}
+	for _, v := range vals {
+		a.Observe(v)
+		lb.Observe(v)
+	}
+	lb.Flush()
+	sa, sb := a.Snapshot(), b.Snapshot()
+	if sa.Count != sb.Count || sa.Sum != sb.Sum {
+		t.Fatalf("count/sum mismatch: %+v vs %+v", sa, sb)
+	}
+	for i := range sa.Counts {
+		if sa.Counts[i] != sb.Counts[i] {
+			t.Fatalf("bucket %d: %d vs %d", i, sa.Counts[i], sb.Counts[i])
+		}
+	}
+}
+
+// Flush must reset local state so a LocalHist is reusable per stage.
+func TestLocalHistFlushResets(t *testing.T) {
+	h := newHistogram([]float64{1})
+	l := h.Local()
+	l.Observe(0.5)
+	l.Flush()
+	l.Flush() // second flush adds nothing
+	l.Observe(2)
+	l.Flush()
+	s := h.Snapshot()
+	if s.Count != 2 || s.Counts[0] != 1 || s.Counts[1] != 1 {
+		t.Fatalf("unexpected snapshot after reuse: %+v", s)
+	}
+}
+
+// Nil registry and nil metric receivers must be safe no-ops so
+// instrumented code paths never branch on telemetry being enabled.
+func TestNilSafety(t *testing.T) {
+	var reg *Registry
+	reg.Counter("x").Add(1)
+	reg.Gauge("y").Set(2)
+	hg := reg.Histogram("z", []float64{1})
+	hg.Observe(3)
+	hg.Local().Observe(4)
+	if s := reg.Snapshot(); len(s.Counters) != 0 {
+		t.Fatal("nil registry snapshot not empty")
+	}
+
+	var c *Counter
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Fatal("nil counter value")
+	}
+	var g *Gauge
+	g.Set(1)
+	if g.Value() != 0 {
+		t.Fatal("nil gauge value")
+	}
+	var h *Histogram
+	h.Observe(1)
+	h.Local().Observe(1)
+	h.Local().Flush()
+
+	var run *Run
+	run.RecordPool(0, []WorkerSample{{Worker: 0, Busy: 1}})
+	if run.WorkerSummaries() != nil {
+		t.Fatal("nil run worker summaries")
+	}
+	if run.Elapsed() != 0 {
+		t.Fatal("nil run elapsed")
+	}
+}
+
+func TestGaugeSetAndRegistryIdempotent(t *testing.T) {
+	reg := NewRegistry()
+	g := reg.Gauge("loss")
+	g.Set(0.25)
+	if reg.Gauge("loss") != g {
+		t.Fatal("second Gauge lookup returned a different metric")
+	}
+	if v := reg.Gauge("loss").Value(); v != 0.25 {
+		t.Fatalf("gauge value %v, want 0.25", v)
+	}
+	h := reg.Histogram("h", []float64{1, 2})
+	if reg.Histogram("h", []float64{99}) != h {
+		t.Fatal("second Histogram lookup returned a different metric")
+	}
+}

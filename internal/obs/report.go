@@ -1,0 +1,190 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// ReportSchema identifies the JSON run-report layout. Consumers
+// (benchrun, CI's telemetry smoke job, external tooling) match on this
+// string; any breaking change to the report shape must bump the
+// version suffix.
+const ReportSchema = "transn.telemetry.report/v1"
+
+// ViewReport is a view's final single-view loss.
+type ViewReport struct {
+	View    int     `json:"view"`
+	LSingle float64 `json:"l_single"`
+}
+
+// PairReport is a view-pair's final cross-view loss.
+type PairReport struct {
+	Pair   int     `json:"pair"`
+	I      int     `json:"i"`
+	J      int     `json:"j"`
+	LCross float64 `json:"l_cross"`
+}
+
+// IterationReport is one point of the loss curve.
+type IterationReport struct {
+	Iteration int       `json:"iteration"`
+	LSingle   float64   `json:"l_single"`
+	LCross    float64   `json:"l_cross"`
+	ViewLoss  []float64 `json:"view_loss,omitempty"`
+	PairLoss  []float64 `json:"pair_loss,omitempty"`
+}
+
+// Report is the schema-stable JSON run report. Required fields (always
+// present, validated by ValidateReport): schema, name, wall_seconds,
+// stages, counters, gauges. The remaining sections are optional and
+// omitted when empty so benchmark reports and training reports share
+// one schema.
+type Report struct {
+	Schema      string  `json:"schema"`
+	Name        string  `json:"name"`
+	WallSeconds float64 `json:"wall_seconds"`
+
+	// Per-stage wall time from the tracer, sorted by total descending.
+	Stages []StageSummary `json:"stages"`
+
+	Counters   map[string]int64        `json:"counters"`
+	Gauges     map[string]float64      `json:"gauges"`
+	Histograms map[string]HistSnapshot `json:"histograms,omitempty"`
+
+	Workers []WorkerSummary `json:"workers,omitempty"`
+
+	// Training sections (filled by transn.Model.Report).
+	Views          []ViewReport      `json:"views,omitempty"`
+	Pairs          []PairReport      `json:"pairs,omitempty"`
+	Iterations     []IterationReport `json:"iterations,omitempty"`
+	ExamplesPerSec float64           `json:"examples_per_sec"`
+
+	// Metrics carries run-level result numbers keyed by free-form path,
+	// e.g. benchrun's "table3/AMiner/TransN/Micro-F1".
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report snapshots the run into a report named name. Training sections
+// (Views/Pairs/Iterations) are left empty; transn fills them from the
+// model's history. ExamplesPerSec is derived from the
+// "skipgram.pairs" counter over the run's wall time when present.
+func (r *Run) Report(name string) *Report {
+	rep := &Report{
+		Schema:   ReportSchema,
+		Name:     name,
+		Counters: map[string]int64{},
+		Gauges:   map[string]float64{},
+	}
+	if r == nil {
+		return rep
+	}
+	rep.WallSeconds = r.Elapsed().Seconds()
+	rep.Stages = r.Trace.Stages()
+	snap := r.Reg.Snapshot()
+	rep.Counters = snap.Counters
+	rep.Gauges = snap.Gauges
+	if len(snap.Histograms) > 0 {
+		rep.Histograms = snap.Histograms
+	}
+	rep.Workers = r.WorkerSummaries()
+	if pairs, ok := rep.Counters["skipgram.pairs"]; ok && rep.WallSeconds > 0 {
+		rep.ExamplesPerSec = float64(pairs) / rep.WallSeconds
+	}
+	return rep
+}
+
+// WriteReport writes the report as indented JSON with a trailing
+// newline, the exact bytes the CLIs emit and CI validates.
+func WriteReport(w io.Writer, rep *Report) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// ValidateReport checks that data is a well-formed run report: valid
+// JSON, the expected schema string, every required field present with
+// the right JSON type, and durations/counts non-negative. Unknown extra
+// fields are allowed (the schema is append-only within a version).
+func ValidateReport(data []byte) error {
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return fmt.Errorf("report is not valid JSON: %w", err)
+	}
+	var schema string
+	if err := unmarshalField(raw, "schema", &schema); err != nil {
+		return err
+	}
+	if schema != ReportSchema {
+		return fmt.Errorf("report schema %q, want %q", schema, ReportSchema)
+	}
+	var name string
+	if err := unmarshalField(raw, "name", &name); err != nil {
+		return err
+	}
+	if name == "" {
+		return fmt.Errorf("report name is empty")
+	}
+	var wall float64
+	if err := unmarshalField(raw, "wall_seconds", &wall); err != nil {
+		return err
+	}
+	if wall < 0 {
+		return fmt.Errorf("wall_seconds is negative: %v", wall)
+	}
+	var stages []StageSummary
+	if err := unmarshalField(raw, "stages", &stages); err != nil {
+		return err
+	}
+	for _, s := range stages {
+		if s.Name == "" {
+			return fmt.Errorf("stage with empty name")
+		}
+		if s.Count < 0 || s.TotalSeconds < 0 || s.MinSeconds < 0 || s.MaxSeconds < 0 {
+			return fmt.Errorf("stage %q has negative count or duration", s.Name)
+		}
+	}
+	var counters map[string]int64
+	if err := unmarshalField(raw, "counters", &counters); err != nil {
+		return err
+	}
+	for k, v := range counters {
+		if v < 0 {
+			return fmt.Errorf("counter %q is negative: %d", k, v)
+		}
+	}
+	var gauges map[string]float64
+	if err := unmarshalField(raw, "gauges", &gauges); err != nil {
+		return err
+	}
+	// Optional sections still type-check when present.
+	for _, opt := range []struct {
+		key string
+		dst any
+	}{
+		{"histograms", &map[string]HistSnapshot{}},
+		{"workers", &[]WorkerSummary{}},
+		{"views", &[]ViewReport{}},
+		{"pairs", &[]PairReport{}},
+		{"iterations", &[]IterationReport{}},
+		{"metrics", &map[string]float64{}},
+	} {
+		if msg, ok := raw[opt.key]; ok {
+			if err := json.Unmarshal(msg, opt.dst); err != nil {
+				return fmt.Errorf("field %q: %w", opt.key, err)
+			}
+		}
+	}
+	return nil
+}
+
+func unmarshalField(raw map[string]json.RawMessage, key string, dst any) error {
+	msg, ok := raw[key]
+	if !ok {
+		return fmt.Errorf("report is missing required field %q", key)
+	}
+	if err := json.Unmarshal(msg, dst); err != nil {
+		return fmt.Errorf("field %q: %w", key, err)
+	}
+	return nil
+}

@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTracerSpansAndStages(t *testing.T) {
+	tr := NewTracer()
+	sp := tr.Start("walk").View(2).Epoch(1)
+	time.Sleep(time.Millisecond)
+	d := sp.End()
+	if d <= 0 {
+		t.Fatal("span duration not positive")
+	}
+	tr.Start("walk").View(3).End()
+	tr.Start("skipgram").View(2).End()
+
+	spans := tr.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(spans))
+	}
+	if spans[0].Name != "walk" || spans[0].View != 2 || spans[0].Epoch != 1 {
+		t.Fatalf("first span attributes wrong: %+v", spans[0])
+	}
+	if spans[0].Pair != -1 || spans[0].Worker != -1 {
+		t.Fatalf("unset attributes should be -1: %+v", spans[0])
+	}
+
+	stages := tr.Stages()
+	if len(stages) != 2 {
+		t.Fatalf("got %d stages, want 2", len(stages))
+	}
+	// walk has 2 spans including the slept one, so it sorts first.
+	if stages[0].Name != "walk" || stages[0].Count != 2 {
+		t.Fatalf("stage aggregation wrong: %+v", stages)
+	}
+	if stages[0].TotalSeconds < stages[0].MaxSeconds || stages[0].MaxSeconds < stages[0].MinSeconds {
+		t.Fatalf("stage bounds inconsistent: %+v", stages[0])
+	}
+}
+
+// Spans may end concurrently (cross-view pair steps fan out); the
+// tracer must tolerate that under -race.
+func TestTracerConcurrentEnd(t *testing.T) {
+	tr := NewTracer()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tr.Start("cross_pair").Pair(i).Worker(i % 4).End()
+		}(i)
+	}
+	wg.Wait()
+	if got := len(tr.Spans()); got != 16 {
+		t.Fatalf("got %d spans, want 16", got)
+	}
+	st := tr.Stages()
+	if len(st) != 1 || st[0].Count != 16 {
+		t.Fatalf("stage summary wrong: %+v", st)
+	}
+}
+
+func TestTracerNilSafety(t *testing.T) {
+	var tr *Tracer
+	sp := tr.Start("x")
+	if sp != nil {
+		t.Fatal("nil tracer should return nil span")
+	}
+	if sp.View(1).Pair(2).Epoch(3).Worker(4).End() != 0 {
+		t.Fatal("nil span End should return 0")
+	}
+	if tr.Spans() != nil || tr.Stages() != nil {
+		t.Fatal("nil tracer aggregation should be nil")
+	}
+}

@@ -10,6 +10,7 @@ package par
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Run invokes fn(shard) for every shard in [0, shards) and returns once
@@ -51,4 +52,81 @@ func Run(workers, shards int, fn func(shard int)) {
 		}()
 	}
 	wg.Wait()
+}
+
+// WorkerStat is one worker's share of a RunTimed fan-out: cumulative
+// time spent inside shard bodies and the number of shards it claimed.
+// Idle time for the fan-out is the caller's wall minus Busy.
+type WorkerStat struct {
+	Worker int
+	Busy   time.Duration
+	Shards int
+}
+
+// Stats describes one RunTimed fan-out: its wall-clock duration and
+// the per-worker breakdown (only workers that claimed at least one
+// shard appear; on the serial path there is exactly one entry).
+type Stats struct {
+	Wall    time.Duration
+	Workers []WorkerStat
+}
+
+// RunTimed is Run with per-worker busy-time attribution, feeding the
+// telemetry layer's busy/idle accounting (internal/obs). The
+// scheduling contract is identical to Run — dynamic shard claiming,
+// inline ascending execution when workers <= 1 — and the only added
+// cost is two monotonic clock reads per shard, negligible next to any
+// real shard body. Callers that don't need Stats should keep using Run.
+func RunTimed(workers, shards int, fn func(shard int)) Stats {
+	return RunTimedWorker(workers, shards, func(_, s int) { fn(s) })
+}
+
+// RunTimedWorker is RunTimed for callers that also want the claiming
+// worker's index inside the shard body (e.g. to attribute a span to a
+// worker). Worker indices are in [0, workers); on the inline serial
+// path every shard reports worker 0.
+func RunTimedWorker(workers, shards int, fn func(worker, shard int)) Stats {
+	if shards <= 0 {
+		return Stats{}
+	}
+	if workers > shards {
+		workers = shards
+	}
+	start := time.Now()
+	if workers <= 1 || shards == 1 {
+		for s := 0; s < shards; s++ {
+			fn(0, s)
+		}
+		wall := time.Since(start)
+		return Stats{Wall: wall, Workers: []WorkerStat{{Worker: 0, Busy: wall, Shards: shards}}}
+	}
+	stats := make([]WorkerStat, workers)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			st := &stats[w]
+			st.Worker = w
+			for {
+				s := int(next.Add(1)) - 1
+				if s >= shards {
+					return
+				}
+				t0 := time.Now()
+				fn(w, s)
+				st.Busy += time.Since(t0)
+				st.Shards++
+			}
+		}(w)
+	}
+	wg.Wait()
+	out := Stats{Wall: time.Since(start)}
+	for _, st := range stats {
+		if st.Shards > 0 {
+			out.Workers = append(out.Workers, st)
+		}
+	}
+	return out
 }

@@ -65,3 +65,48 @@ func TestRunZeroShardsNoCall(t *testing.T) {
 		t.Fatal("fn called with zero shards")
 	}
 }
+
+func TestRunTimedCoversEveryShardOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 3, 8, 100} {
+		for _, shards := range []int{0, 1, 2, 7, 64} {
+			hits := make([]int32, shards)
+			st := RunTimed(workers, shards, func(s int) {
+				atomic.AddInt32(&hits[s], 1)
+			})
+			for s, h := range hits {
+				if h != 1 {
+					t.Fatalf("workers=%d shards=%d: shard %d ran %d times", workers, shards, s, h)
+				}
+			}
+			total := 0
+			for _, w := range st.Workers {
+				if w.Shards <= 0 {
+					t.Fatalf("workers=%d shards=%d: zero-shard worker reported: %+v", workers, shards, w)
+				}
+				total += w.Shards
+			}
+			if total != shards {
+				t.Fatalf("workers=%d shards=%d: worker stats cover %d shards", workers, shards, total)
+			}
+			if shards > 0 && st.Wall <= 0 {
+				t.Fatalf("workers=%d shards=%d: non-positive wall %v", workers, shards, st.Wall)
+			}
+		}
+	}
+}
+
+func TestRunTimedSerialPathOrderedSingleWorker(t *testing.T) {
+	var order []int
+	st := RunTimed(1, 5, func(s int) { order = append(order, s) }) // no sync: must be inline
+	for i, s := range order {
+		if s != i {
+			t.Fatalf("serial order %v", order)
+		}
+	}
+	if len(st.Workers) != 1 || st.Workers[0].Worker != 0 || st.Workers[0].Shards != 5 {
+		t.Fatalf("serial stats %+v", st.Workers)
+	}
+	if st.Workers[0].Busy != st.Wall {
+		t.Fatalf("serial busy %v != wall %v", st.Workers[0].Busy, st.Wall)
+	}
+}

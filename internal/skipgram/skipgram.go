@@ -224,8 +224,28 @@ func (m *Model) trainCorpus(paths [][]int, offsets []int, neg int, lr float64, s
 // under Hogwild it is itself subject to the benign read races and may
 // vary in the last bits between runs.
 func (m *Model) TrainCorpusParallel(paths [][]int, offsets []int, neg int, lr float64, s *NegSampler, seed int64, workers int, deterministic bool) float64 {
+	loss, _, _ := m.TrainCorpusParallelStats(paths, offsets, neg, lr, s, seed, workers, deterministic)
+	return loss
+}
+
+// TrainCorpusParallelStats is TrainCorpusParallel plus the counters the
+// telemetry layer reports: the number of (center, context) training
+// pairs the pass applied — the throughput unit behind examples/sec —
+// and the worker-pool timing breakdown. Shard losses and pair counts
+// are accumulated shard-locally and merged here, after the barrier, so
+// nothing is added to the Hogwild hot path. The embedding updates are
+// identical to TrainCorpusParallel's for the same arguments.
+func (m *Model) TrainCorpusParallelStats(paths [][]int, offsets []int, neg int, lr float64, s *NegSampler, seed int64, workers int, deterministic bool) (float64, int, par.Stats) {
 	if workers <= 1 || len(paths) <= 1 {
-		return m.TrainCorpus(paths, offsets, neg, lr, s, rngstream.New(seed, 0))
+		var loss float64
+		var pairs int
+		st := par.RunTimed(1, 1, func(int) {
+			loss, pairs = m.trainCorpus(paths, offsets, neg, lr, s, rngstream.New(seed, 0))
+		})
+		if pairs == 0 {
+			return 0, 0, st
+		}
+		return loss / float64(pairs), pairs, st
 	}
 	shards := workers
 	if shards > len(paths) {
@@ -238,12 +258,11 @@ func (m *Model) TrainCorpusParallel(paths [][]int, offsets []int, neg int, lr fl
 		hi := (sh + 1) * len(paths) / shards
 		losses[sh], counts[sh] = m.trainCorpus(paths[lo:hi], offsets, neg, lr, s, rngstream.New(seed, int64(sh)))
 	}
+	var st par.Stats
 	if deterministic {
-		for sh := 0; sh < shards; sh++ {
-			train(sh)
-		}
+		st = par.RunTimed(1, shards, train)
 	} else {
-		par.Run(workers, shards, train)
+		st = par.RunTimed(workers, shards, train)
 	}
 	var loss float64
 	var pairs int
@@ -252,9 +271,9 @@ func (m *Model) TrainCorpusParallel(paths [][]int, offsets []int, neg int, lr fl
 		pairs += counts[sh]
 	}
 	if pairs == 0 {
-		return 0
+		return 0, 0, st
 	}
-	return loss / float64(pairs)
+	return loss / float64(pairs), pairs, st
 }
 
 func sigmoid(x float64) float64 {

@@ -352,3 +352,42 @@ func TestTrainCorpusParallelHogwildLearns(t *testing.T) {
 		t.Fatalf("hogwild loss did not decrease: first %.4f last %.4f", first, last)
 	}
 }
+
+// TrainCorpusParallelStats must train exactly like TrainCorpusParallel
+// (same loss, same tables) while reporting a positive pair count and a
+// worker-time breakdown covering every shard.
+func TestTrainCorpusParallelStatsMatchesParallel(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	paths := twoClusterCorpus(rng, 30, 10)
+	s := NewNegSampler(CorpusFrequencies(paths, 6))
+	for _, tc := range []struct {
+		workers       int
+		deterministic bool
+	}{{1, false}, {3, true}} {
+		a := NewModel(6, 8, rand.New(rand.NewSource(15)))
+		b := cloneModel(a)
+		la := a.TrainCorpusParallel(paths, SymmetricOffsets(2), 5, 0.05, s, 13, tc.workers, tc.deterministic)
+		lb, pairs, st := b.TrainCorpusParallelStats(paths, SymmetricOffsets(2), 5, 0.05, s, 13, tc.workers, tc.deterministic)
+		if la != lb {
+			t.Fatalf("workers=%d: losses differ: %v vs %v", tc.workers, la, lb)
+		}
+		for i := range a.In.Data {
+			if a.In.Data[i] != b.In.Data[i] {
+				t.Fatalf("workers=%d: In tables diverge at %d", tc.workers, i)
+			}
+		}
+		if pairs <= 0 {
+			t.Fatalf("workers=%d: pair count %d not positive", tc.workers, pairs)
+		}
+		if st.Wall <= 0 || len(st.Workers) == 0 {
+			t.Fatalf("workers=%d: empty stats %+v", tc.workers, st)
+		}
+		shards := 0
+		for _, w := range st.Workers {
+			shards += w.Shards
+		}
+		if shards <= 0 {
+			t.Fatalf("workers=%d: no shards attributed in %+v", tc.workers, st)
+		}
+	}
+}

@@ -10,6 +10,8 @@ package transn
 import (
 	"fmt"
 	"runtime"
+
+	"transn/internal/obs"
 )
 
 // CrossLoss selects how translation/reconstruction similarity is scored.
@@ -92,6 +94,27 @@ type Config struct {
 	SimpleTranslator bool // TransN-With-Simple-Translator
 	NoTranslation    bool // TransN-Without-Translation-Tasks
 	NoReconstruction bool // TransN-Without-Reconstruction-Tasks
+
+	// Observer, when non-nil, receives a TrainEvent at every stage
+	// boundary of Algorithm 1: one per walk corpus, per skip-gram pass,
+	// per cross-view pair step, and one loss-curve event per iteration.
+	// Calls are serialized by the model (the callback is never invoked
+	// concurrently), but in the default Hogwild mode pair events may
+	// arrive in any pair order; under DeterministicApply the stream
+	// order — and every non-timing field — is reproducible for a fixed
+	// Seed and Workers (compare TrainEvent.Deterministic projections).
+	// The callback runs inline with training: keep it cheap or hand off
+	// to a channel. Not serialized by Save (functions have no wire form).
+	Observer func(obs.TrainEvent)
+	// Telemetry, when non-nil, collects this run's metrics: stage spans
+	// with worker attribution, counters (walks, skip-gram pairs,
+	// cross-view segments), loss gauges, a cross-segment loss histogram,
+	// and per-worker busy/idle time. Use obs.NewRun, then read the
+	// results via Model.Report, Telemetry.ServeDebug (pprof + /metrics)
+	// or Telemetry.PublishExpvar. Nil disables collection; the training
+	// hot path then reduces to per-stage nil checks (see DESIGN.md §7).
+	// Not serialized by Save.
+	Telemetry *obs.Run
 }
 
 // DefaultConfig returns the paper's hyperparameters scaled for synthetic

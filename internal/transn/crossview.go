@@ -7,21 +7,36 @@ import (
 	"transn/internal/autodiff"
 	"transn/internal/graph"
 	"transn/internal/mat"
+	"transn/internal/obs"
 	"transn/internal/walk"
 )
+
+// crossResult is one pair step's diagnostics: mean segment losses
+// (total and the translation/reconstruction components) and the number
+// of common-node segments trained.
+type crossResult struct {
+	loss           float64
+	translation    float64
+	reconstruction float64
+	segments       int
+}
 
 // crossViewStep runs one cross-view pass for view-pair pi (Algorithm 1
 // lines 8–12): it samples common-node path segments from both
 // paired-subviews and optimizes the translation tasks T1/T2 (Eqs. 11–12)
 // and reconstruction tasks R1/R2 (Eqs. 13–14). It returns the mean
-// segment loss. rng is pair pi's private stream; when pair steps fan out
-// over the worker pool, each pair runs on exactly one worker so nothing
-// here is shared between goroutines except the embedding tables, whose
-// accesses go through the Hogwild gather/scatter helpers below.
-func (m *Model) crossViewStep(pi int, rng *rand.Rand) float64 {
+// segment losses. rng is pair pi's private stream; when pair steps fan
+// out over the worker pool, each pair runs on exactly one worker
+// (worker is that worker's index, for span attribution) so nothing here
+// is shared between goroutines except the embedding tables, whose
+// accesses go through the Hogwild gather/scatter helpers below, and the
+// telemetry sinks, which are race-safe — segment losses accumulate in a
+// shard-local histogram view flushed once at the end of the step.
+func (m *Model) crossViewStep(pi, iter, worker int, rng *rand.Rand) crossResult {
+	span := m.tel.trace().Start("cross_pair").Pair(pi).Epoch(iter).Worker(worker)
+	segLoss := m.tel.segLoss.Local()
 	pr := m.pairs[pi]
-	var total float64
-	var count int
+	var res crossResult
 	// Side 0: paths from φ'_i, translator T_{i→j} forward; side 1: the
 	// dual direction.
 	for side := 0; side < 2; side++ {
@@ -33,14 +48,28 @@ func (m *Model) crossViewStep(pi int, rng *rand.Rand) float64 {
 		}
 		segs := m.sampleCommonSegments(pi, side, rng)
 		for _, seg := range segs {
-			total += m.trainSegment(seg, src, dst, fwd, bwd)
-			count++
+			total, trans, recon := m.trainSegment(seg, src, dst, fwd, bwd)
+			res.loss += total
+			res.translation += trans
+			res.reconstruction += recon
+			segLoss.Observe(total)
+			res.segments++
 		}
 	}
-	if count == 0 {
-		return 0
+	segLoss.Flush()
+	if res.segments > 0 {
+		inv := 1 / float64(res.segments)
+		res.loss *= inv
+		res.translation *= inv
+		res.reconstruction *= inv
 	}
-	return total / float64(count)
+	m.tel.crossSegs.Add(int64(res.segments))
+	m.emit(obs.TrainEvent{
+		Stage: obs.StageCrossPair, View: -1, Pair: pi, Epoch: iter,
+		LCross: res.loss, LTranslation: res.translation, LReconstruction: res.reconstruction,
+		Examples: res.segments,
+	}, span.End())
+	return res
 }
 
 // sampleCommonSegments samples walks from the paired-subview of the given
@@ -85,8 +114,11 @@ func (m *Model) sampleCommonSegments(pi, side int, rng *rand.Rand) [][]graph.Nod
 // embeddings of the same nodes, plus reconstruction src→dst→src scored
 // against the original src-view embeddings. Gradients update both
 // translators (Adam) and the touched embedding rows in both views (SGD
-// with γ_cross), matching Θ_cross of Algorithm 1.
-func (m *Model) trainSegment(seg []graph.NodeID, src, dst int, fwd, bwd *Translator) float64 {
+// with γ_cross), matching Θ_cross of Algorithm 1. It returns the
+// segment's combined loss and its translation (Eqs. 11–12) and
+// reconstruction (Eqs. 13–14) components; a disabled task contributes
+// zero.
+func (m *Model) trainSegment(seg []graph.NodeID, src, dst int, fwd, bwd *Translator) (total, transLoss, reconLoss float64) {
 	srcView, dstView := m.views[src], m.views[dst]
 	srcEmb, dstEmb := m.emb[src], m.emb[dst]
 	L, d := len(seg), m.Cfg.Dim
@@ -125,10 +157,12 @@ func (m *Model) trainSegment(seg []graph.NodeID, src, dst int, fwd, bwd *Transla
 	translated := fwd.Apply(tp, tA)
 	if !m.Cfg.NoTranslation {
 		loss = m.similarityLoss(tp, translated, tTgt)
+		transLoss = loss.Value.At(0, 0)
 	}
 	if !m.Cfg.NoReconstruction {
 		recon := bwd.Apply(tp, translated)
 		rl := m.similarityLoss(tp, recon, tp.LayerNormRows(tA))
+		reconLoss = rl.Value.At(0, 0)
 		if loss == nil {
 			loss = rl
 		} else {
@@ -138,7 +172,7 @@ func (m *Model) trainSegment(seg []graph.NodeID, src, dst int, fwd, bwd *Transla
 	if loss == nil {
 		fwd.DiscardGrads()
 		bwd.DiscardGrads()
-		return 0
+		return 0, 0, 0
 	}
 	tp.Backward(loss)
 
@@ -157,7 +191,7 @@ func (m *Model) trainSegment(seg []graph.NodeID, src, dst int, fwd, bwd *Transla
 	} else {
 		bwd.Step()
 	}
-	return loss.Value.At(0, 0)
+	return loss.Value.At(0, 0), transLoss, reconLoss
 }
 
 // gatherRows copies src rows named by loc into consecutive rows of dst.

@@ -3,9 +3,12 @@ package transn
 import (
 	"fmt"
 	"math/rand"
+	"sync"
+	"time"
 
 	"transn/internal/graph"
 	"transn/internal/mat"
+	"transn/internal/obs"
 	"transn/internal/par"
 	"transn/internal/rngstream"
 	"transn/internal/skipgram"
@@ -64,6 +67,12 @@ type Model struct {
 	// so embeddings receive gradients through an already-meaningful map.
 	crossEmbedUpdates bool
 
+	// tel is the run's resolved telemetry (metric handles looked up
+	// once, nil-safe when Cfg.Telemetry is nil); obsMu serializes
+	// Observer callbacks from concurrent pair steps.
+	tel   telemetry
+	obsMu sync.Mutex
+
 	// History records per-iteration mean losses for diagnostics.
 	History []IterStats
 }
@@ -73,6 +82,98 @@ type IterStats struct {
 	Iteration  int
 	SingleLoss float64 // mean skip-gram pair loss across views
 	CrossLoss  float64 // mean cross-view segment loss across pairs
+	// ViewLoss is the per-view mean skip-gram pair loss, indexed like
+	// Views() (zero for empty views that trained nothing).
+	ViewLoss []float64
+	// PairLoss is the per-pair mean cross-view segment loss, indexed
+	// like ViewPairs() (nil under the NoCrossView ablation).
+	PairLoss []float64
+	// Translation and Reconstruction split CrossLoss into its Eq. 11–12
+	// and Eq. 13–14 components (means across pairs).
+	Translation    float64
+	Reconstruction float64
+}
+
+// FinalLosses returns the last iteration's per-view single-view losses
+// and per-pair cross-view losses, so callers and tests can assert
+// convergence without digging through History. Both slices are nil when
+// the model has not trained (e.g. loaded via Load).
+func (m *Model) FinalLosses() (viewLoss, pairLoss []float64) {
+	if len(m.History) == 0 {
+		return nil, nil
+	}
+	last := m.History[len(m.History)-1]
+	return last.ViewLoss, last.PairLoss
+}
+
+// telemetry holds the metric handles a training run writes to. All
+// fields are nil-safe: with Cfg.Telemetry unset every method reduces to
+// a nil check at a stage boundary, keeping the disabled-path cost
+// within the budget of DESIGN.md §7.
+type telemetry struct {
+	run       *obs.Run
+	walkPaths *obs.Counter
+	sgPairs   *obs.Counter
+	crossSegs *obs.Counter
+	segLoss   *obs.Histogram
+
+	lossSingle *obs.Gauge
+	lossCross  *obs.Gauge
+	lossTrans  *obs.Gauge
+	lossRecon  *obs.Gauge
+}
+
+func newTelemetry(run *obs.Run) telemetry {
+	t := telemetry{run: run}
+	if run == nil {
+		return t
+	}
+	t.walkPaths = run.Reg.Counter("walk.paths")
+	t.sgPairs = run.Reg.Counter("skipgram.pairs")
+	t.crossSegs = run.Reg.Counter("cross.segments")
+	t.segLoss = run.Reg.Histogram("cross.segment_loss",
+		[]float64{0.125, 0.25, 0.5, 1, 2, 4, 8, 16})
+	t.lossSingle = run.Reg.Gauge("loss.single")
+	t.lossCross = run.Reg.Gauge("loss.cross")
+	t.lossTrans = run.Reg.Gauge("loss.translation")
+	t.lossRecon = run.Reg.Gauge("loss.reconstruction")
+	return t
+}
+
+func (t *telemetry) trace() *obs.Tracer {
+	if t.run == nil {
+		return nil
+	}
+	return t.run.Trace
+}
+
+// recordPool folds one worker-pool fan-out's timing into the run.
+func (t *telemetry) recordPool(st par.Stats) {
+	if t.run == nil || len(st.Workers) == 0 {
+		return
+	}
+	samples := make([]obs.WorkerSample, len(st.Workers))
+	for i, w := range st.Workers {
+		samples[i] = obs.WorkerSample{Worker: w.Worker, Busy: w.Busy, Shards: w.Shards}
+	}
+	t.run.RecordPool(st.Wall, samples)
+}
+
+// emit delivers ev to the Observer callback with the timing fields
+// filled from d. Calls are serialized: pair steps emit from worker
+// goroutines in Hogwild mode, and the contract promises the callback is
+// never invoked concurrently.
+func (m *Model) emit(ev obs.TrainEvent, d time.Duration) {
+	if m.Cfg.Observer == nil {
+		return
+	}
+	ev.DurationSeconds = d.Seconds()
+	if d > 0 && ev.Examples > 0 {
+		ev.ExamplesPerSec = float64(ev.Examples) / d.Seconds()
+	}
+	m.obsMu.Lock()
+	defer m.obsMu.Unlock()
+	m.Cfg.Observer(ev)
 }
 
 // Train runs Algorithm 1 on g and returns the trained model. Work is
@@ -91,10 +192,12 @@ func Train(g *graph.Graph, cfg Config) (*Model, error) {
 		Cfg:   cfg,
 		Graph: g,
 		views: g.Views(),
+		tel:   newTelemetry(cfg.Telemetry),
 	}
 	if len(m.views) == 0 {
 		return nil, fmt.Errorf("transn: graph has no edge types, nothing to train")
 	}
+	trainSpan := m.tel.trace().Start("train")
 	m.initViews()
 	if !cfg.NoCrossView {
 		m.initPairs()
@@ -105,19 +208,24 @@ func Train(g *graph.Graph, cfg Config) (*Model, error) {
 		if lrS < cfg.LRSingle*1e-4 {
 			lrS = cfg.LRSingle * 1e-4
 		}
+		iterSpan := m.tel.trace().Start("iteration").Epoch(iter)
 		var st IterStats
 		st.Iteration = iter
+		st.ViewLoss = make([]float64, len(m.views))
 		// Single-view passes: views run in sequence, each view sharding
 		// its walks and skip-gram updates across the full pool. (The old
 		// scheme of one goroutine per view capped parallelism at the
 		// number of edge types.)
 		var sum float64
-		var n int
+		var n, iterPairs int
 		for vi := range m.views {
 			if m.views[vi].NumNodes() == 0 {
 				continue
 			}
-			sum += m.singleViewStep(vi, iter, lrS)
+			loss, pairs := m.singleViewStep(vi, iter, lrS)
+			st.ViewLoss[vi] = loss
+			sum += loss
+			iterPairs += pairs
 			n++
 		}
 		if n > 0 {
@@ -129,26 +237,78 @@ func Train(g *graph.Graph, cfg Config) (*Model, error) {
 			// unsynchronized (Hogwild) updates to that view's embedding
 			// rows — see the gather/scatter helpers in crossview.go. The
 			// deterministic mode applies pairs serially in pair order.
-			closs := make([]float64, len(m.pairs))
-			step := func(pi int) {
-				closs[pi] = m.crossViewStep(pi, m.pairRngs[pi])
+			results := make([]crossResult, len(m.pairs))
+			step := func(worker, pi int) {
+				results[pi] = m.crossViewStep(pi, iter, worker, m.pairRngs[pi])
 			}
+			poolSize := cfg.Workers
 			if cfg.DeterministicApply {
-				for pi := range m.pairs {
-					step(pi)
-				}
-			} else {
-				par.Run(cfg.Workers, len(m.pairs), step)
+				// One-worker pools run inline in ascending order, so this
+				// is the serial pair-order apply the mode promises.
+				poolSize = 1
 			}
-			var csum float64
-			for _, c := range closs {
-				csum += c
+			m.tel.recordPool(par.RunTimedWorker(poolSize, len(m.pairs), step))
+			st.PairLoss = make([]float64, len(m.pairs))
+			var csum, tsum, rsum float64
+			for pi, r := range results {
+				st.PairLoss[pi] = r.loss
+				csum += r.loss
+				tsum += r.translation
+				rsum += r.reconstruction
 			}
-			st.CrossLoss = csum / float64(len(m.pairs))
+			np := float64(len(m.pairs))
+			st.CrossLoss = csum / np
+			st.Translation = tsum / np
+			st.Reconstruction = rsum / np
 		}
 		m.History = append(m.History, st)
+		m.tel.lossSingle.Set(st.SingleLoss)
+		m.tel.lossCross.Set(st.CrossLoss)
+		m.tel.lossTrans.Set(st.Translation)
+		m.tel.lossRecon.Set(st.Reconstruction)
+		m.emit(obs.TrainEvent{
+			Stage: obs.StageIteration, View: -1, Pair: -1, Epoch: iter,
+			LSingle: st.SingleLoss, LCross: st.CrossLoss,
+			LTranslation: st.Translation, LReconstruction: st.Reconstruction,
+			Examples: iterPairs,
+		}, iterSpan.End())
 	}
+	trainSpan.End()
 	return m, nil
+}
+
+// Report builds the run's telemetry report: per-stage wall time,
+// counters, gauges, per-worker busy/idle breakdown (all from
+// Cfg.Telemetry, empty when it is nil), plus the loss sections filled
+// from the model — final per-view L_single, final per-pair L_cross and
+// the per-iteration loss curve. cmd/transn writes this as the -report
+// file and cmd/benchrun embeds the same shape.
+func (m *Model) Report() *obs.Report {
+	rep := m.Cfg.Telemetry.Report("train")
+	if len(m.History) == 0 {
+		return rep
+	}
+	last := m.History[len(m.History)-1]
+	for vi := range m.views {
+		if vi < len(last.ViewLoss) && m.views[vi].NumNodes() > 0 {
+			rep.Views = append(rep.Views, obs.ViewReport{View: vi, LSingle: last.ViewLoss[vi]})
+		}
+	}
+	for pi, pr := range m.pairs {
+		if pi < len(last.PairLoss) {
+			rep.Pairs = append(rep.Pairs, obs.PairReport{Pair: pi, I: pr.I, J: pr.J, LCross: last.PairLoss[pi]})
+		}
+	}
+	for _, st := range m.History {
+		rep.Iterations = append(rep.Iterations, obs.IterationReport{
+			Iteration: st.Iteration,
+			LSingle:   st.SingleLoss,
+			LCross:    st.CrossLoss,
+			ViewLoss:  st.ViewLoss,
+			PairLoss:  st.PairLoss,
+		})
+	}
+	return rep
 }
 
 // initViews builds per-view embeddings, negative samplers and walkers.
@@ -202,11 +362,13 @@ func (m *Model) initPairs() {
 }
 
 // singleViewStep runs one skip-gram pass over fresh walks from view vi
-// (Algorithm 1 lines 3–7) and returns the mean pair loss. Walk
-// generation shards start nodes across the pool under the per-iteration
-// base stream (streamWalk, vi, iter); training shards the resulting
-// corpus under (streamTrain, vi, iter).
-func (m *Model) singleViewStep(vi, iter int, lr float64) float64 {
+// (Algorithm 1 lines 3–7) and returns the mean pair loss plus the
+// number of training pairs applied. Walk generation shards start nodes
+// across the pool under the per-iteration base stream (streamWalk, vi,
+// iter); training shards the resulting corpus under (streamTrain, vi,
+// iter). Both phases are traced as "walk" / "skipgram" spans and
+// emitted as StageWalk / StageSkipGram events.
+func (m *Model) singleViewStep(vi, iter int, lr float64) (float64, int) {
 	v := m.views[vi]
 	cfg := walk.CorpusConfig{
 		WalkLength:      m.Cfg.WalkLength,
@@ -215,6 +377,7 @@ func (m *Model) singleViewStep(vi, iter int, lr float64) float64 {
 	}
 	walkSeed := rngstream.Derive(m.Cfg.Seed, streamWalk, int64(vi), int64(iter))
 	trainSeed := rngstream.Derive(m.Cfg.Seed, streamTrain, int64(vi), int64(iter))
+	walkSpan := m.tel.trace().Start("walk").View(vi).Epoch(iter)
 	var paths [][]int
 	if m.Cfg.SimpleWalk {
 		// Ablation: uniformly random starting nodes, weights ignored.
@@ -232,11 +395,26 @@ func (m *Model) singleViewStep(vi, iter int, lr float64) float64 {
 			}
 		}
 	} else {
-		paths = walk.CorpusParallel(v, m.walkers[vi], cfg, walkSeed, m.Cfg.Workers)
+		var wst par.Stats
+		paths, wst = walk.CorpusParallelStats(v, m.walkers[vi], cfg, walkSeed, m.Cfg.Workers)
+		m.tel.recordPool(wst)
 	}
+	m.tel.walkPaths.Add(int64(len(paths)))
+	m.emit(obs.TrainEvent{
+		Stage: obs.StageWalk, View: vi, Pair: -1, Epoch: iter, Examples: len(paths),
+	}, walkSpan.End())
+
 	offsets := skipgram.ContextOffsets(v.Hetero)
-	return m.emb[vi].TrainCorpusParallel(paths, offsets, m.Cfg.NegativeSamples, lr, m.samplers[vi],
-		trainSeed, m.Cfg.Workers, m.Cfg.DeterministicApply)
+	sgSpan := m.tel.trace().Start("skipgram").View(vi).Epoch(iter)
+	loss, pairs, sst := m.emb[vi].TrainCorpusParallelStats(paths, offsets, m.Cfg.NegativeSamples, lr,
+		m.samplers[vi], trainSeed, m.Cfg.Workers, m.Cfg.DeterministicApply)
+	m.tel.recordPool(sst)
+	m.tel.sgPairs.Add(int64(pairs))
+	m.emit(obs.TrainEvent{
+		Stage: obs.StageSkipGram, View: vi, Pair: -1, Epoch: iter,
+		LSingle: loss, Examples: pairs,
+	}, sgSpan.End())
+	return loss, pairs
 }
 
 // Embeddings returns the final node embeddings: one row per global node,

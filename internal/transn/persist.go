@@ -10,13 +10,96 @@ import (
 	"transn/internal/skipgram"
 )
 
+// persistedConfig mirrors the serializable fields of Config. Config
+// itself carries runtime-only telemetry handles (Observer, Telemetry —
+// see internal/obs) that gob cannot encode, so the wire format pins
+// the hyperparameter subset explicitly. Field names match Config, and
+// gob resolves struct fields by name, so models saved before the split
+// decode unchanged. New Config hyperparameters must be added here too;
+// TestPersistConfigRoundTrip enforces that.
+type persistedConfig struct {
+	Dim                int
+	WalkLength         int
+	MinWalksPerNode    int
+	MaxWalksPerNode    int
+	Iterations         int
+	NegativeSamples    int
+	LRSingle           float64
+	LRCross            float64
+	Encoders           int
+	CrossPathLen       int
+	CrossPathsPerPair  int
+	Loss               CrossLoss
+	Seed               int64
+	Workers            int
+	DeterministicApply bool
+	Parallel           bool
+	NoCrossView        bool
+	SimpleWalk         bool
+	SimpleTranslator   bool
+	NoTranslation      bool
+	NoReconstruction   bool
+}
+
+func toPersistedConfig(c Config) persistedConfig {
+	return persistedConfig{
+		Dim:                c.Dim,
+		WalkLength:         c.WalkLength,
+		MinWalksPerNode:    c.MinWalksPerNode,
+		MaxWalksPerNode:    c.MaxWalksPerNode,
+		Iterations:         c.Iterations,
+		NegativeSamples:    c.NegativeSamples,
+		LRSingle:           c.LRSingle,
+		LRCross:            c.LRCross,
+		Encoders:           c.Encoders,
+		CrossPathLen:       c.CrossPathLen,
+		CrossPathsPerPair:  c.CrossPathsPerPair,
+		Loss:               c.Loss,
+		Seed:               c.Seed,
+		Workers:            c.Workers,
+		DeterministicApply: c.DeterministicApply,
+		Parallel:           c.Parallel,
+		NoCrossView:        c.NoCrossView,
+		SimpleWalk:         c.SimpleWalk,
+		SimpleTranslator:   c.SimpleTranslator,
+		NoTranslation:      c.NoTranslation,
+		NoReconstruction:   c.NoReconstruction,
+	}
+}
+
+func (p persistedConfig) config() Config {
+	return Config{
+		Dim:                p.Dim,
+		WalkLength:         p.WalkLength,
+		MinWalksPerNode:    p.MinWalksPerNode,
+		MaxWalksPerNode:    p.MaxWalksPerNode,
+		Iterations:         p.Iterations,
+		NegativeSamples:    p.NegativeSamples,
+		LRSingle:           p.LRSingle,
+		LRCross:            p.LRCross,
+		Encoders:           p.Encoders,
+		CrossPathLen:       p.CrossPathLen,
+		CrossPathsPerPair:  p.CrossPathsPerPair,
+		Loss:               p.Loss,
+		Seed:               p.Seed,
+		Workers:            p.Workers,
+		DeterministicApply: p.DeterministicApply,
+		Parallel:           p.Parallel,
+		NoCrossView:        p.NoCrossView,
+		SimpleWalk:         p.SimpleWalk,
+		SimpleTranslator:   p.SimpleTranslator,
+		NoTranslation:      p.NoTranslation,
+		NoReconstruction:   p.NoReconstruction,
+	}
+}
+
 // persistedModel is the gob wire format of a trained model. It stores
 // the configuration, per-view embedding tables and translator weights;
 // the graph itself is not stored — Load re-derives views from the graph
 // the caller supplies, which must be identical to the training graph.
 type persistedModel struct {
 	Version int
-	Cfg     Config
+	Cfg     persistedConfig
 	// Per view: nil entries mark empty views.
 	EmbIn  []*matBlob
 	EmbOut []*matBlob
@@ -49,7 +132,7 @@ func fromBlob(b *matBlob) *mat.Dense {
 // Save serializes the trained model to w. The graph is not included;
 // pass the same graph to Load.
 func (m *Model) Save(w io.Writer) error {
-	pm := persistedModel{Version: 1, Cfg: m.Cfg}
+	pm := persistedModel{Version: 1, Cfg: toPersistedConfig(m.Cfg)}
 	for _, e := range m.emb {
 		if e == nil {
 			pm.EmbIn = append(pm.EmbIn, nil)
@@ -90,7 +173,7 @@ func Load(r io.Reader, g *graph.Graph) (*Model, error) {
 	if pm.Version != 1 {
 		return nil, fmt.Errorf("transn: unsupported model version %d", pm.Version)
 	}
-	m := &Model{Cfg: pm.Cfg, Graph: g, views: g.Views()}
+	m := &Model{Cfg: pm.Cfg.config(), Graph: g, views: g.Views()}
 	if len(pm.EmbIn) != len(m.views) {
 		return nil, fmt.Errorf("transn: model has %d views, graph has %d",
 			len(pm.EmbIn), len(m.views))

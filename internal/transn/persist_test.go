@@ -2,6 +2,7 @@ package transn
 
 import (
 	"bytes"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -73,5 +74,49 @@ func TestLoadRejectsGarbage(t *testing.T) {
 	g := socialGraph(t, 6, 3, 24)
 	if _, err := Load(strings.NewReader("not a gob"), g); err == nil {
 		t.Fatal("expected decode error")
+	}
+}
+
+// persistedConfig must mirror every Config field except the runtime
+// telemetry handles (Observer, Telemetry), which gob cannot encode. A
+// hyperparameter added to Config without a matching persistedConfig
+// field would silently vanish from saved models — this test turns that
+// into a failure.
+func TestPersistConfigRoundTrip(t *testing.T) {
+	skip := map[string]bool{"Observer": true, "Telemetry": true}
+	ct := reflect.TypeOf(Config{})
+	pt := reflect.TypeOf(persistedConfig{})
+	for i := 0; i < ct.NumField(); i++ {
+		f := ct.Field(i)
+		if skip[f.Name] {
+			continue
+		}
+		pf, ok := pt.FieldByName(f.Name)
+		if !ok {
+			t.Errorf("Config field %s missing from persistedConfig", f.Name)
+			continue
+		}
+		if pf.Type != f.Type {
+			t.Errorf("Config field %s has type %v in persistedConfig, want %v", f.Name, pf.Type, f.Type)
+		}
+	}
+	if pt.NumField() != ct.NumField()-len(skip) {
+		t.Errorf("persistedConfig has %d fields, Config has %d serializable", pt.NumField(), ct.NumField()-len(skip))
+	}
+
+	// Round trip preserves every serializable field (non-zero values).
+	cfg := Config{
+		Dim: 1, WalkLength: 2, MinWalksPerNode: 3, MaxWalksPerNode: 4,
+		Iterations: 5, NegativeSamples: 6, LRSingle: 7, LRCross: 8,
+		Encoders: 9, CrossPathLen: 10, CrossPathsPerPair: 11,
+		Loss: LossInnerProduct, Seed: 12, Workers: 13,
+		DeterministicApply: true, Parallel: true, NoCrossView: true,
+		SimpleWalk: true, SimpleTranslator: true, NoTranslation: true,
+		NoReconstruction: true,
+	}
+	got := toPersistedConfig(cfg).config()
+	cfg.Observer, cfg.Telemetry = nil, nil
+	if !reflect.DeepEqual(got, cfg) {
+		t.Fatalf("config round trip changed values:\n got %+v\nwant %+v", got, cfg)
 	}
 }

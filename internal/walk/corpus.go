@@ -71,9 +71,22 @@ func corpusRange(v *graph.View, w Walker, cfg CorpusConfig, lo, hi int, rng *ran
 // prepared eagerly first, so the shared walker is read-only while
 // shards run.
 func CorpusParallel(v *graph.View, w Walker, cfg CorpusConfig, seed int64, workers int) [][]int {
+	paths, _ := CorpusParallelStats(v, w, cfg, seed, workers)
+	return paths
+}
+
+// CorpusParallelStats is CorpusParallel plus the worker-pool timing
+// breakdown consumed by the telemetry layer (per-worker busy time and
+// shard counts, wall-clock of the fan-out). The corpus bytes are
+// identical to CorpusParallel's for the same arguments.
+func CorpusParallelStats(v *graph.View, w Walker, cfg CorpusConfig, seed int64, workers int) ([][]int, par.Stats) {
 	n := v.NumNodes()
 	if workers <= 1 || n <= 1 {
-		return Corpus(v, w, cfg, rngstream.New(seed, 0))
+		var paths [][]int
+		st := par.RunTimed(1, 1, func(int) {
+			paths = Corpus(v, w, cfg, rngstream.New(seed, 0))
+		})
+		return paths, st
 	}
 	if p, ok := w.(Preparer); ok {
 		p.Prepare()
@@ -83,7 +96,7 @@ func CorpusParallel(v *graph.View, w Walker, cfg CorpusConfig, seed int64, worke
 		shards = n
 	}
 	perShard := make([][][]int, shards)
-	par.Run(workers, shards, func(s int) {
+	st := par.RunTimed(workers, shards, func(s int) {
 		lo := s * n / shards
 		hi := (s + 1) * n / shards
 		perShard[s] = corpusRange(v, w, cfg, lo, hi, rngstream.New(seed, int64(s)))
@@ -96,7 +109,7 @@ func CorpusParallel(v *graph.View, w Walker, cfg CorpusConfig, seed int64, worke
 	for _, p := range perShard {
 		paths = append(paths, p...)
 	}
-	return paths
+	return paths, st
 }
 
 // Adj is merged whole-graph adjacency (all edge types) used by walkers

@@ -529,6 +529,37 @@ func TestCorpusParallelOneWorkerMatchesSerial(t *testing.T) {
 	}
 }
 
+// CorpusParallelStats must return the byte-identical corpus plus a
+// worker-time breakdown that covers every shard.
+func TestCorpusParallelStatsMatchesCorpusParallel(t *testing.T) {
+	v := randomView(41)
+	cfg := CorpusConfig{WalkLength: 10, MinWalksPerNode: 2, MaxWalksPerNode: 4}
+	for _, workers := range []int{1, 3} {
+		want := CorpusParallel(v, NewCorrelated(v), cfg, 5, workers)
+		got, st := CorpusParallelStats(v, NewCorrelated(v), cfg, 5, workers)
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d paths vs %d", workers, len(got), len(want))
+		}
+		for i := range got {
+			for j := range got[i] {
+				if got[i][j] != want[i][j] {
+					t.Fatalf("workers=%d: path %d differs", workers, i)
+				}
+			}
+		}
+		if st.Wall <= 0 || len(st.Workers) == 0 {
+			t.Fatalf("workers=%d: empty stats %+v", workers, st)
+		}
+		shards := 0
+		for _, w := range st.Workers {
+			shards += w.Shards
+		}
+		if shards <= 0 {
+			t.Fatalf("workers=%d: no shards attributed", workers)
+		}
+	}
+}
+
 // CorpusParallel must be reproducible for a fixed (seed, workers)
 // regardless of goroutine scheduling: shard outputs concatenate in
 // shard order.
