@@ -58,7 +58,7 @@ func BenchmarkTable3NodeClassification(b *testing.B) {
 		b.Run(spec.Name, func(b *testing.B) {
 			opts := benchOpts()
 			g := spec.Generate(opts.Size, opts.Seed)
-			methods := experiments.Methods(spec.Name, opts.Size, opts.Workers)
+			methods := experiments.Methods(spec.Name, opts)
 			for i := 0; i < b.N; i++ {
 				for _, m := range methods {
 					if _, err := m.Embed(g, opts.Dim, opts.Seed); err != nil {
@@ -85,7 +85,7 @@ func BenchmarkTable5Ablation(b *testing.B) {
 		b.Run(spec.Name, func(b *testing.B) {
 			opts := benchOpts()
 			g := spec.Generate(opts.Size, opts.Seed)
-			methods := experiments.AblationMethods(opts.Size, opts.Workers)
+			methods := experiments.AblationMethods(opts)
 			for i := 0; i < b.N; i++ {
 				for _, m := range methods {
 					if _, err := m.Embed(g, opts.Dim, opts.Seed); err != nil {

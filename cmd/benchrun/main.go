@@ -17,8 +17,10 @@
 // run as a schema-stable JSON report (obs.ReportSchema) whose metrics
 // section carries each result number keyed as
 // "<experiment>/<dataset>/<method>/<metric>", and -debug-addr serves
-// live /metrics, /debug/vars and /debug/pprof/* while the run is in
-// flight.
+// live /metrics, /debug/vars, /debug/pprof/* and /debug/diagnostics
+// while the run is in flight. -diag attaches internal/diag's
+// convergence monitor to every TransN training and writes its
+// diagnostics document when the run finishes.
 package main
 
 import (
@@ -27,6 +29,7 @@ import (
 	"os"
 	"time"
 
+	"transn/internal/diag"
 	"transn/internal/experiments"
 	"transn/internal/obs"
 )
@@ -45,7 +48,8 @@ func main() {
 		workers   = flag.Int("workers", 0, "TransN worker-pool size (0 = all cores, 1 = serial)")
 		timings   = flag.Bool("timings", false, "print wall-clock time per experiment")
 		report    = flag.String("report", "", "write the run's telemetry report as JSON to this file")
-		debugAddr = flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address while running")
+		debugAddr = flag.String("debug-addr", "", "serve /metrics, /debug/vars, /debug/pprof and /debug/diagnostics on this address while running")
+		diagOut   = flag.String("diag", "", "attach the convergence monitor to every TransN training and write its diagnostics document (last training's loss curve) as JSON to this file")
 	)
 	flag.Parse()
 
@@ -67,10 +71,19 @@ func main() {
 		os.Exit(2)
 	}
 
+	// The convergence monitor observes every TransN training the run
+	// performs. It resets on each training's iteration 0, so the served
+	// and written documents describe the most recent loss curve.
+	var monitor *diag.Monitor
+	if *diagOut != "" || *debugAddr != "" {
+		monitor = diag.NewMonitor(nil, diag.MonitorOptions{})
+		opts.Observer = monitor.Observe
+	}
 	tel := obs.NewRun()
 	if *debugAddr != "" {
 		tel.PublishExpvar("benchrun")
-		srv, addr, err := tel.ServeDebug(*debugAddr)
+		srv, addr, err := tel.ServeDebug(*debugAddr,
+			obs.Route{Pattern: "/debug/diagnostics", Handler: monitor})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchrun: -debug-addr: %v\n", err)
 			os.Exit(1)
@@ -180,5 +193,22 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "wrote telemetry report to %s\n", *report)
+	}
+	if *diagOut != "" {
+		f, err := os.Create(*diagOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchrun: -diag: %v\n", err)
+			os.Exit(1)
+		}
+		if err := diag.Write(f, monitor.Document("benchrun")); err != nil {
+			f.Close()
+			fmt.Fprintf(os.Stderr, "benchrun: -diag: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "benchrun: -diag: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote diagnostics to %s\n", *diagOut)
 	}
 }

@@ -17,6 +17,11 @@
 //	    Load trained embeddings and print a node's nearest neighbors by
 //	    cosine similarity.
 //
+//	transn diagnose -input net.tsv -model model.gob [-summary]
+//	    Run the internal/diag analyzers over a saved model: embedding
+//	    and translator health, walk-corpus coverage, convergence (from
+//	    a recorded -events stream). Exits non-zero on error findings.
+//
 // The TSV network format is documented in internal/graph (Load/Store):
 // "N <name> <type> [label]" node lines followed by
 // "E <u> <v> <edge-type> [weight]" edge lines.
@@ -42,6 +47,7 @@ import (
 	"transn/internal/baselines/rgcn"
 	"transn/internal/baselines/simple"
 	"transn/internal/dataset"
+	"transn/internal/diag"
 	"transn/internal/graph"
 	"transn/internal/mat"
 	"transn/internal/obs"
@@ -76,6 +82,8 @@ func main() {
 		err = cmdNeighbors(os.Args[2:])
 	case "evaluate":
 		err = cmdEvaluate(os.Args[2:])
+	case "diagnose":
+		err = cmdDiagnose(os.Args[2:])
 	case "checkreport":
 		err = cmdCheckReport(os.Args[2:])
 	case "-h", "--help", "help":
@@ -92,18 +100,22 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: transn <train|stats|generate|neighbors|evaluate|checkreport> [flags]
+	fmt.Fprintln(os.Stderr, `usage: transn <train|stats|generate|neighbors|evaluate|diagnose|checkreport> [flags]
 
   train       -input net.tsv -output emb.tsv [-method transn] [-dim 64]
               [-seed 1] [-iterations 5] [-walklen 40] [-encoders 2]
               [-metapath a,b,a] [-ablation <name>] [-quiet]
               [-report rep.json] [-events ev.jsonl] [-debug-addr :6060]
+              [-diagnose]
   stats       -input net.tsv
   generate    -dataset AMiner|BLOG|App-Daily|App-Weekly -output net.tsv
               [-size quick|full] [-seed 1]
   neighbors   -input net.tsv -emb emb.tsv -node NAME [-k 10]
   evaluate    -input net.tsv -emb emb.tsv -task classify|cluster
-  checkreport -report rep.json`)
+  diagnose    -input net.tsv -model model.gob [-output diag.json]
+              [-summary] [-events ev.jsonl] [-no-corpus] [-corpus-seed 1]
+              [-coverage-warn 0.95] [-workers 0]
+  checkreport -report rep.json (telemetry or diagnostics document)`)
 }
 
 func loadGraph(path string) (*graph.Graph, error) {
@@ -134,7 +146,8 @@ func cmdTrain(args []string) error {
 	quietFlag := fs.Bool("quiet", false, "suppress informational stderr output (results and errors only)")
 	reportOut := fs.String("report", "", "write the training telemetry report as JSON to this path (TransN only)")
 	eventsOut := fs.String("events", "", "stream training events as JSON lines to this path, or - for stderr (TransN only)")
-	debugAddr := fs.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address while training")
+	debugAddr := fs.String("debug-addr", "", "serve /metrics, /debug/vars, /debug/pprof and /debug/diagnostics on this address while training")
+	diagnose := fs.Bool("diagnose", false, "run model diagnostics after training, embed them in the -report document, and fail if the final model is non-finite (TransN only)")
 	fs.Parse(args)
 	quiet = *quietFlag
 	if *input == "" || *output == "" {
@@ -155,15 +168,7 @@ func cmdTrain(args []string) error {
 	if *debugAddr != "" || *reportOut != "" {
 		run = obs.NewRun()
 	}
-	if *debugAddr != "" {
-		run.PublishExpvar("transn")
-		srv, addr, err := run.ServeDebug(*debugAddr)
-		if err != nil {
-			return fmt.Errorf("train: -debug-addr: %w", err)
-		}
-		defer srv.Close()
-		infof("debug server listening on %s\n", addr)
-	}
+	var monitor *diag.Monitor
 	if tm, ok := m.(transnMethod); ok {
 		tm.cfg.Workers = *workers
 		tm.cfg.DeterministicApply = *deterministic
@@ -186,6 +191,15 @@ func cmdTrain(args []string) error {
 			enc := json.NewEncoder(w)
 			tm.cfg.Observer = func(ev obs.TrainEvent) { _ = enc.Encode(ev) }
 		}
+		if *diagnose || *debugAddr != "" {
+			// The convergence monitor wraps whatever observer is already
+			// configured: original events pass through first, then the
+			// monitor's synthesized diagnostic events (plateau,
+			// divergence, non-finite) land in the same stream.
+			monitor = diag.NewMonitor(tm.cfg.Observer, diag.MonitorOptions{})
+			tm.cfg.Observer = monitor.Observe
+		}
+		tm.diagnose = *diagnose
 		m = tm
 	} else {
 		switch {
@@ -195,7 +209,22 @@ func cmdTrain(args []string) error {
 			return fmt.Errorf("train: -report is only supported with -method transn")
 		case *eventsOut != "":
 			return fmt.Errorf("train: -events is only supported with -method transn")
+		case *diagnose:
+			return fmt.Errorf("train: -diagnose is only supported with -method transn")
 		}
+	}
+	if *debugAddr != "" {
+		run.PublishExpvar("transn")
+		var routes []obs.Route
+		if monitor != nil {
+			routes = append(routes, obs.Route{Pattern: "/debug/diagnostics", Handler: monitor})
+		}
+		srv, addr, err := run.ServeDebug(*debugAddr, routes...)
+		if err != nil {
+			return fmt.Errorf("train: -debug-addr: %w", err)
+		}
+		defer srv.Close()
+		infof("debug server listening on %s\n", addr)
 	}
 	emb, err := m.Embed(g, *dim, *seed)
 	if err != nil {
@@ -222,11 +251,13 @@ func cmdTrain(args []string) error {
 }
 
 // cmdCheckReport validates a telemetry report written by `train
-// -report` or `benchrun -report` against the schema — CI's telemetry
-// smoke job runs this on the artifact it uploads.
+// -report` / `benchrun -report`, or a diagnostics document written by
+// `diagnose -output`, against its schema — the file's own schema field
+// picks the validator. CI's smoke jobs run this on the artifacts they
+// upload.
 func cmdCheckReport(args []string) error {
 	fs := flag.NewFlagSet("checkreport", flag.ExitOnError)
-	report := fs.String("report", "", "telemetry report JSON to validate (required)")
+	report := fs.String("report", "", "telemetry report or diagnostics JSON to validate (required)")
 	fs.Parse(args)
 	if *report == "" {
 		return fmt.Errorf("checkreport: -report is required")
@@ -234,6 +265,17 @@ func cmdCheckReport(args []string) error {
 	data, err := os.ReadFile(*report)
 	if err != nil {
 		return err
+	}
+	var peek struct {
+		Schema string `json:"schema"`
+	}
+	_ = json.Unmarshal(data, &peek)
+	if peek.Schema == diag.Schema {
+		if err := diag.Validate(data); err != nil {
+			return fmt.Errorf("checkreport: %s: %w", *report, err)
+		}
+		fmt.Printf("%s: valid %s document\n", *report, diag.Schema)
+		return nil
 	}
 	if err := obs.ValidateReport(data); err != nil {
 		return fmt.Errorf("checkreport: %s: %w", *report, err)
@@ -296,6 +338,7 @@ type transnMethod struct {
 	cfg       transn.Config
 	modelOut  string
 	reportOut string
+	diagnose  bool
 }
 
 func (transnMethod) Name() string { return "TransN" }
@@ -307,6 +350,10 @@ func (m transnMethod) Embed(g *graph.Graph, dim int, seed int64) (*mat.Dense, er
 	model, err := transn.Train(g, cfg)
 	if err != nil {
 		return nil, err
+	}
+	var doc *diag.Document
+	if m.diagnose {
+		doc = diag.Analyze(model, diag.Options{Name: "train"})
 	}
 	if m.modelOut != "" {
 		f, err := os.Create(m.modelOut)
@@ -320,11 +367,20 @@ func (m transnMethod) Embed(g *graph.Graph, dim int, seed int64) (*mat.Dense, er
 		infof("saved model to %s\n", m.modelOut)
 	}
 	if m.reportOut != "" {
+		rep := model.Report()
+		if doc != nil {
+			doc.Finalize()
+			raw, err := json.Marshal(doc)
+			if err != nil {
+				return nil, err
+			}
+			rep.Diagnostics = raw
+		}
 		f, err := os.Create(m.reportOut)
 		if err != nil {
 			return nil, err
 		}
-		if err := obs.WriteReport(f, model.Report()); err != nil {
+		if err := obs.WriteReport(f, rep); err != nil {
 			f.Close()
 			return nil, err
 		}
@@ -332,6 +388,13 @@ func (m transnMethod) Embed(g *graph.Graph, dim int, seed int64) (*mat.Dense, er
 			return nil, err
 		}
 		infof("wrote telemetry report to %s\n", m.reportOut)
+	}
+	// The finiteness verdict comes after the artifacts are written, so a
+	// corrupted run still leaves a model and report behind to diagnose.
+	if m.diagnose {
+		if err := model.CheckFinite(); err != nil {
+			return nil, fmt.Errorf("trained model is non-finite: %w", err)
+		}
 	}
 	return model.Embeddings(), nil
 }

@@ -1,0 +1,35 @@
+package diag
+
+import (
+	"testing"
+
+	"transn/internal/obs"
+	"transn/internal/transn"
+)
+
+// BenchmarkTrainBare vs BenchmarkTrainWithMonitor measure the
+// acceptance criterion that attaching the convergence monitor to the
+// observer chain costs nothing measurable: the monitor does a handful
+// of float compares per *iteration* (not per pair), so the two numbers
+// should be statistically indistinguishable.
+func benchTrain(b *testing.B, observer func(obs.TrainEvent)) {
+	g := testGraph(b, 10, 5, 7)
+	cfg := quickCfg()
+	cfg.Iterations = 2
+	cfg.Observer = observer
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := transn.Train(g, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTrainBare(b *testing.B) {
+	benchTrain(b, nil)
+}
+
+func BenchmarkTrainWithMonitor(b *testing.B) {
+	mn := NewMonitor(nil, MonitorOptions{})
+	benchTrain(b, mn.Observe)
+}

@@ -1,0 +1,347 @@
+package diag
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+
+	"transn/internal/obs"
+	"transn/internal/transn"
+)
+
+// MonitorOptions tunes the convergence detector. The zero value is
+// usable: every field has a default.
+type MonitorOptions struct {
+	// Window is how many iterations back the plateau test looks
+	// (default 3).
+	Window int
+	// PlateauRel is the relative total-loss improvement over Window
+	// iterations below which the curve counts as plateaued
+	// (default 0.01 = 1%).
+	PlateauRel float64
+	// DivergeFactor flags divergence when the total loss exceeds this
+	// multiple of the best total seen so far (default 3). Set negative
+	// to disable.
+	DivergeFactor float64
+}
+
+func (o MonitorOptions) withDefaults() MonitorOptions {
+	if o.Window == 0 {
+		o.Window = 3
+	}
+	if o.PlateauRel == 0 {
+		o.PlateauRel = 0.01
+	}
+	if o.DivergeFactor == 0 {
+		o.DivergeFactor = 3
+	}
+	return o
+}
+
+// ConvergencePoint is one iteration of the loss curve.
+type ConvergencePoint struct {
+	Iteration int     `json:"iteration"`
+	LSingle   float64 `json:"l_single"`
+	LCross    float64 `json:"l_cross"`
+}
+
+// ConvergenceReport is the convergence section of the document.
+type ConvergenceReport struct {
+	Iterations int `json:"iterations"`
+	// FinalSingle / FinalCross are the last iteration's losses;
+	// BestTotal the lowest single+cross total seen.
+	FinalSingle float64 `json:"final_single"`
+	FinalCross  float64 `json:"final_cross"`
+	BestTotal   float64 `json:"best_total"`
+	// PlateauAt is the iteration at which improvement first dropped
+	// below MonitorOptions.PlateauRel over the window, or -1.
+	PlateauAt int  `json:"plateau_at"`
+	Diverged  bool `json:"diverged"`
+	NonFinite bool `json:"non_finite"`
+	// Curve is the per-iteration loss trace (sanitized: non-finite
+	// values are recorded as NonFinite and zeroed here so the document
+	// always JSON-encodes).
+	Curve []ConvergencePoint `json:"curve,omitempty"`
+}
+
+// Monitor is an online convergence detector shaped to sit in the
+// Config.Observer chain: construct it with the downstream observer (or
+// nil) and pass Observe as the observer. Every event is forwarded
+// unchanged, then the monitor appends synthesized StageDiagnostic
+// events for what it noticed: LevelWarning on a non-finite or diverging
+// loss curve, LevelInfo on a plateau — each condition reported once per
+// training run. A StageIteration event with Epoch 0 arriving after a
+// non-empty curve resets the monitor (benchrun trains several models
+// through one observer chain).
+//
+// The trainer serializes Observer calls; the monitor's own mutex exists
+// so Report, Findings and ServeHTTP are additionally safe from other
+// goroutines while training runs.
+type Monitor struct {
+	mu       sync.Mutex
+	next     func(obs.TrainEvent)
+	opts     MonitorOptions
+	curve    []ConvergencePoint
+	best     float64
+	haveBest bool
+	plateau  int
+	diverged bool
+	nonFin   bool
+	warned   bool // non-finite warning emitted for this run
+	findings []Finding
+}
+
+// NewMonitor returns a Monitor forwarding to next (which may be nil).
+func NewMonitor(next func(obs.TrainEvent), opts MonitorOptions) *Monitor {
+	return &Monitor{next: next, opts: opts.withDefaults(), plateau: -1}
+}
+
+// Observe ingests one training event. It never blocks on anything but
+// the monitor's own mutex and allocates only when a condition first
+// trips, so it is safe on the training hot path.
+func (mn *Monitor) Observe(ev obs.TrainEvent) {
+	mn.mu.Lock()
+	var derived []obs.TrainEvent
+	switch ev.Stage {
+	case obs.StageDiagnostic:
+		// Trainer-synthesized health events (the non-finite guard) pass
+		// through; the analyzer records them so they surface in the
+		// document even when the monitor's own loss sniffing missed the
+		// corruption (e.g. NaN embeddings with finite losses).
+		sev := SeverityInfo
+		if ev.Level == obs.LevelWarning {
+			sev = SeverityWarning
+		}
+		mn.findings = append(mn.findings, Finding{
+			Severity: sev, Code: "trainer." + string(obs.StageDiagnostic),
+			View: ev.View, Pair: ev.Pair, Message: ev.Message,
+		})
+	case obs.StageIteration:
+		if ev.Epoch == 0 && len(mn.curve) > 0 {
+			mn.resetLocked()
+		}
+		derived = mn.observeIteration(ev)
+	default:
+		// Cheap per-stage sniff: a non-finite stage loss means the run
+		// is corrupt even before the iteration event lands.
+		if !isFinite(ev.LSingle) || !isFinite(ev.LCross) {
+			derived = mn.flagNonFinite(ev)
+		}
+	}
+	next := mn.next
+	mn.mu.Unlock()
+	if next != nil {
+		next(ev)
+		for _, d := range derived {
+			next(d)
+		}
+	}
+}
+
+func (mn *Monitor) resetLocked() {
+	mn.curve = nil
+	mn.best = 0
+	mn.haveBest = false
+	mn.plateau = -1
+	mn.diverged = false
+	mn.nonFin = false
+	mn.warned = false
+	mn.findings = nil
+}
+
+func (mn *Monitor) flagNonFinite(ev obs.TrainEvent) []obs.TrainEvent {
+	mn.nonFin = true
+	if mn.warned {
+		return nil
+	}
+	mn.warned = true
+	msg := fmt.Sprintf("non-finite loss in %s stage at iteration %d", ev.Stage, ev.Epoch)
+	mn.findings = append(mn.findings, Finding{
+		Severity: SeverityError, Code: CodeLossNonFinite, View: ev.View, Pair: ev.Pair, Message: msg,
+	})
+	return []obs.TrainEvent{{
+		Stage: obs.StageDiagnostic, View: ev.View, Pair: ev.Pair, Epoch: ev.Epoch,
+		Level: obs.LevelWarning, Message: msg,
+	}}
+}
+
+func (mn *Monitor) observeIteration(ev obs.TrainEvent) []obs.TrainEvent {
+	var derived []obs.TrainEvent
+	pt := ConvergencePoint{Iteration: ev.Epoch, LSingle: ev.LSingle, LCross: ev.LCross}
+	total := ev.LSingle + ev.LCross
+	if !isFinite(total) {
+		derived = append(derived, mn.flagNonFinite(ev)...)
+		// Keep the curve encodable: the point is recorded as zeros and
+		// the condition as NonFinite.
+		if !isFinite(pt.LSingle) {
+			pt.LSingle = 0
+		}
+		if !isFinite(pt.LCross) {
+			pt.LCross = 0
+		}
+		mn.curve = append(mn.curve, pt)
+		return derived
+	}
+	mn.curve = append(mn.curve, pt)
+	if !mn.haveBest || total < mn.best {
+		mn.best = total
+		mn.haveBest = true
+	} else if mn.opts.DivergeFactor > 0 && mn.best > 0 &&
+		total > mn.opts.DivergeFactor*mn.best && !mn.diverged {
+		mn.diverged = true
+		msg := fmt.Sprintf("loss diverging: total %.4g at iteration %d is %.1f× the best %.4g",
+			total, ev.Epoch, total/mn.best, mn.best)
+		mn.findings = append(mn.findings, Finding{
+			Severity: SeverityWarning, Code: CodeLossDiverged, View: -1, Pair: -1, Message: msg,
+		})
+		derived = append(derived, obs.TrainEvent{
+			Stage: obs.StageDiagnostic, View: -1, Pair: -1, Epoch: ev.Epoch,
+			Level: obs.LevelWarning, Message: msg,
+		})
+	}
+	// A diverging curve is already reported; a plateau verdict on top of
+	// it would be noise (any worsening trivially fails the improvement
+	// test).
+	if mn.plateau < 0 && !mn.diverged && len(mn.curve) > mn.opts.Window {
+		prev := mn.curve[len(mn.curve)-1-mn.opts.Window]
+		ref := prev.LSingle + prev.LCross
+		if ref != 0 {
+			improve := (ref - total) / abs(ref)
+			if improve < mn.opts.PlateauRel {
+				mn.plateau = ev.Epoch
+				msg := fmt.Sprintf("loss plateaued: %.2f%% improvement over the last %d iterations (threshold %.2f%%)",
+					100*improve, mn.opts.Window, 100*mn.opts.PlateauRel)
+				mn.findings = append(mn.findings, Finding{
+					Severity: SeverityInfo, Code: CodeLossPlateau, View: -1, Pair: -1, Message: msg,
+				})
+				derived = append(derived, obs.TrainEvent{
+					Stage: obs.StageDiagnostic, View: -1, Pair: -1, Epoch: ev.Epoch,
+					Level: obs.LevelInfo, Message: msg,
+				})
+			}
+		}
+	}
+	return derived
+}
+
+// Report snapshots the convergence state. Safe concurrently with
+// Observe.
+func (mn *Monitor) Report() *ConvergenceReport {
+	mn.mu.Lock()
+	defer mn.mu.Unlock()
+	rep := &ConvergenceReport{
+		Iterations: len(mn.curve),
+		PlateauAt:  mn.plateau,
+		Diverged:   mn.diverged,
+		NonFinite:  mn.nonFin,
+		BestTotal:  mn.best,
+		Curve:      append([]ConvergencePoint(nil), mn.curve...),
+	}
+	if n := len(mn.curve); n > 0 {
+		rep.FinalSingle = mn.curve[n-1].LSingle
+		rep.FinalCross = mn.curve[n-1].LCross
+	}
+	return rep
+}
+
+// Findings snapshots the findings the monitor accumulated (plateau,
+// divergence, non-finite, forwarded trainer diagnostics). Safe
+// concurrently with Observe.
+func (mn *Monitor) Findings() []Finding {
+	mn.mu.Lock()
+	defer mn.mu.Unlock()
+	return append([]Finding(nil), mn.findings...)
+}
+
+// Document assembles a convergence-only diagnostics document — what
+// the live /debug/diagnostics endpoint serves mid-training.
+func (mn *Monitor) Document(name string) *Document {
+	doc := &Document{Schema: Schema, Name: name, Convergence: mn.Report()}
+	doc.Add(mn.Findings()...)
+	doc.Finalize()
+	return doc
+}
+
+// ServeHTTP serves the live convergence document as JSON, for mounting
+// at /debug/diagnostics via obs.ServeDebug's extra routes.
+func (mn *Monitor) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	if err := Write(w, mn.Document("live")); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// AnalyzeHistory runs the convergence analysis offline over a recorded
+// Model.History: the iteration curve is replayed through a Monitor, and
+// the per-view / per-pair loss arrays (which the iteration means can
+// mask) are swept for non-finite values directly.
+func AnalyzeHistory(hist []transn.IterStats, opts MonitorOptions) (*ConvergenceReport, []Finding) {
+	mn := NewMonitor(nil, opts)
+	badView := map[int]bool{}
+	badPair := map[int]bool{}
+	var extra []Finding
+	for _, st := range hist {
+		for vi, l := range st.ViewLoss {
+			if !isFinite(l) && !badView[vi] {
+				badView[vi] = true
+				extra = append(extra, Finding{
+					Severity: SeverityError, Code: CodeLossNonFinite, View: vi, Pair: -1,
+					Message: fmt.Sprintf("view %d single-view loss non-finite at iteration %d", vi, st.Iteration),
+				})
+			}
+		}
+		for pi, l := range st.PairLoss {
+			if !isFinite(l) && !badPair[pi] {
+				badPair[pi] = true
+				extra = append(extra, Finding{
+					Severity: SeverityError, Code: CodeLossNonFinite, View: -1, Pair: pi,
+					Message: fmt.Sprintf("pair %d cross-view loss non-finite at iteration %d", pi, st.Iteration),
+				})
+			}
+		}
+		mn.Observe(obs.TrainEvent{
+			Stage: obs.StageIteration, View: -1, Pair: -1, Epoch: st.Iteration,
+			LSingle: st.SingleLoss, LCross: st.CrossLoss,
+		})
+	}
+	rep := mn.Report()
+	rep.NonFinite = rep.NonFinite || len(extra) > 0
+	return rep, append(extra, mn.Findings()...)
+}
+
+// ReplayEvents feeds a recorded JSONL event stream (the `transn train
+// -events` output) through a fresh Monitor and returns the resulting
+// report and findings. This is the convergence path for models loaded
+// from disk, whose in-memory History is empty. Unknown lines fail the
+// replay; an empty stream yields an empty report.
+func ReplayEvents(r io.Reader, opts MonitorOptions) (*ConvergenceReport, []Finding, error) {
+	mn := NewMonitor(nil, opts)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var ev obs.TrainEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			return nil, nil, fmt.Errorf("events line %d: %w", line, err)
+		}
+		mn.Observe(ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, fmt.Errorf("reading events: %w", err)
+	}
+	return mn.Report(), mn.Findings(), nil
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

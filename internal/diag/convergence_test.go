@@ -1,0 +1,216 @@
+package diag
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"transn/internal/obs"
+	"transn/internal/transn"
+)
+
+func iterEvent(epoch int, single, cross float64) obs.TrainEvent {
+	return obs.TrainEvent{Stage: obs.StageIteration, View: -1, Pair: -1, Epoch: epoch,
+		LSingle: single, LCross: cross}
+}
+
+func findingCodes(fs []Finding) []string {
+	var out []string
+	for _, f := range fs {
+		out = append(out, f.Code)
+	}
+	return out
+}
+
+func TestMonitorForwardsEverything(t *testing.T) {
+	var got []obs.TrainEvent
+	mn := NewMonitor(func(ev obs.TrainEvent) { got = append(got, ev) }, MonitorOptions{})
+	in := []obs.TrainEvent{
+		{Stage: obs.StageWalk, View: 0, Pair: -1},
+		{Stage: obs.StageSkipGram, View: 0, Pair: -1, LSingle: 1.5},
+		iterEvent(0, 1.5, 0.5),
+	}
+	for _, ev := range in {
+		mn.Observe(ev)
+	}
+	if len(got) != len(in) {
+		t.Fatalf("forwarded %d events, want %d", len(got), len(in))
+	}
+	for i := range in {
+		if got[i] != in[i] {
+			t.Fatalf("event %d altered in transit:\n got %+v\nwant %+v", i, got[i], in[i])
+		}
+	}
+}
+
+func TestMonitorPlateau(t *testing.T) {
+	var diags []obs.TrainEvent
+	mn := NewMonitor(func(ev obs.TrainEvent) {
+		if ev.Stage == obs.StageDiagnostic {
+			diags = append(diags, ev)
+		}
+	}, MonitorOptions{Window: 2, PlateauRel: 0.01})
+	losses := []float64{10, 8, 6, 5.99, 5.98}
+	for i, l := range losses {
+		mn.Observe(iterEvent(i, l, 0))
+	}
+	rep := mn.Report()
+	if rep.PlateauAt != 4 {
+		t.Fatalf("plateau at %d, want 4 (curve %v)", rep.PlateauAt, rep.Curve)
+	}
+	if rep.Diverged || rep.NonFinite {
+		t.Fatalf("unexpected flags: %+v", rep)
+	}
+	if len(diags) != 1 || diags[0].Level != obs.LevelInfo {
+		t.Fatalf("want one info diagnostic event, got %+v", diags)
+	}
+	codes := findingCodes(mn.Findings())
+	if len(codes) != 1 || codes[0] != CodeLossPlateau {
+		t.Fatalf("findings = %v", codes)
+	}
+}
+
+func TestMonitorDivergence(t *testing.T) {
+	var diags []obs.TrainEvent
+	mn := NewMonitor(func(ev obs.TrainEvent) {
+		if ev.Stage == obs.StageDiagnostic {
+			diags = append(diags, ev)
+		}
+	}, MonitorOptions{DivergeFactor: 2})
+	for i, l := range []float64{4, 3, 2, 5, 7} {
+		mn.Observe(iterEvent(i, l, 0))
+	}
+	rep := mn.Report()
+	if !rep.Diverged {
+		t.Fatal("divergence not flagged")
+	}
+	if rep.BestTotal != 2 {
+		t.Fatalf("best total %v, want 2", rep.BestTotal)
+	}
+	// 5 > 2×2 already: exactly one warning, not one per bad iteration.
+	if len(diags) != 1 || diags[0].Level != obs.LevelWarning {
+		t.Fatalf("want one warning diagnostic event, got %+v", diags)
+	}
+	fs := mn.Findings()
+	if len(fs) != 1 || fs[0].Code != CodeLossDiverged || fs[0].Severity != SeverityWarning {
+		t.Fatalf("findings = %+v", fs)
+	}
+}
+
+func TestMonitorNonFiniteIteration(t *testing.T) {
+	var diags []obs.TrainEvent
+	mn := NewMonitor(func(ev obs.TrainEvent) {
+		if ev.Stage == obs.StageDiagnostic {
+			diags = append(diags, ev)
+		}
+	}, MonitorOptions{})
+	mn.Observe(iterEvent(0, 2, 0.5))
+	mn.Observe(iterEvent(1, math.NaN(), 0.5))
+	mn.Observe(iterEvent(2, math.Inf(1), 0.5))
+	rep := mn.Report()
+	if !rep.NonFinite {
+		t.Fatal("non-finite loss not flagged")
+	}
+	if len(diags) != 1 || diags[0].Level != obs.LevelWarning {
+		t.Fatalf("want exactly one warning (latched), got %+v", diags)
+	}
+	fs := mn.Findings()
+	if len(fs) != 1 || fs[0].Code != CodeLossNonFinite || fs[0].Severity != SeverityError {
+		t.Fatalf("findings = %+v", fs)
+	}
+	// The curve stays JSON-encodable: poisoned points recorded as zeros.
+	for _, pt := range rep.Curve {
+		if !finite(pt.LSingle) || !finite(pt.LCross) {
+			t.Fatalf("non-finite value leaked into curve: %+v", pt)
+		}
+	}
+	doc := mn.Document("live")
+	if doc.Healthy {
+		t.Fatal("document healthy despite non-finite loss")
+	}
+}
+
+func TestMonitorStageSniff(t *testing.T) {
+	mn := NewMonitor(nil, MonitorOptions{})
+	mn.Observe(obs.TrainEvent{Stage: obs.StageSkipGram, View: 1, Pair: -1, LSingle: math.NaN(), Epoch: 2})
+	rep := mn.Report()
+	if !rep.NonFinite {
+		t.Fatal("stage-level NaN not sniffed")
+	}
+	fs := mn.Findings()
+	if len(fs) != 1 || fs[0].View != 1 || !strings.Contains(fs[0].Message, "skipgram") {
+		t.Fatalf("findings = %+v", fs)
+	}
+}
+
+func TestMonitorTrainerDiagnosticPassthrough(t *testing.T) {
+	mn := NewMonitor(nil, MonitorOptions{})
+	mn.Observe(obs.TrainEvent{Stage: obs.StageDiagnostic, View: 0, Pair: -1,
+		Level: obs.LevelWarning, Message: "non-finite view 0 embedding at iteration 1"})
+	fs := mn.Findings()
+	if len(fs) != 1 || fs[0].Severity != SeverityWarning || fs[0].View != 0 {
+		t.Fatalf("trainer diagnostic not recorded: %+v", fs)
+	}
+}
+
+// TestMonitorReset: a fresh Epoch-0 iteration after a completed curve
+// (benchrun trains several models through one observer chain) starts a
+// new run.
+func TestMonitorReset(t *testing.T) {
+	mn := NewMonitor(nil, MonitorOptions{})
+	mn.Observe(iterEvent(0, math.NaN(), 0))
+	if !mn.Report().NonFinite {
+		t.Fatal("setup: first run not flagged")
+	}
+	mn.Observe(iterEvent(0, 3, 1))
+	mn.Observe(iterEvent(1, 2, 1))
+	rep := mn.Report()
+	if rep.NonFinite || rep.Iterations != 2 || len(mn.Findings()) != 0 {
+		t.Fatalf("monitor did not reset: %+v findings %+v", rep, mn.Findings())
+	}
+}
+
+func TestAnalyzeHistoryNonFiniteArrays(t *testing.T) {
+	hist := []transn.IterStats{
+		{Iteration: 0, SingleLoss: 2, CrossLoss: 1, ViewLoss: []float64{2, 2}, PairLoss: []float64{1}},
+		{Iteration: 1, SingleLoss: 1.5, CrossLoss: 1, ViewLoss: []float64{1.5, math.NaN()}, PairLoss: []float64{1}},
+	}
+	rep, fs := AnalyzeHistory(hist, MonitorOptions{})
+	if !rep.NonFinite {
+		t.Fatal("per-view NaN not reflected in report")
+	}
+	found := false
+	for _, f := range fs {
+		if f.Code == CodeLossNonFinite && f.View == 1 && f.Severity == SeverityError {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no view-scoped non-finite finding: %+v", fs)
+	}
+	if rep.Iterations != 2 {
+		t.Fatalf("iterations = %d", rep.Iterations)
+	}
+}
+
+func TestReplayEvents(t *testing.T) {
+	jsonl := `{"stage":"walk","view":0,"pair":-1,"epoch":0}
+{"stage":"iteration","view":-1,"pair":-1,"epoch":0,"l_single":3,"l_cross":1}
+{"stage":"iteration","view":-1,"pair":-1,"epoch":1,"l_single":2,"l_cross":1}
+
+{"stage":"iteration","view":-1,"pair":-1,"epoch":2,"l_single":1.5,"l_cross":1}
+`
+	rep, fs, err := ReplayEvents(strings.NewReader(jsonl), MonitorOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Iterations != 3 || rep.FinalSingle != 1.5 || rep.FinalCross != 1 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if len(fs) != 0 {
+		t.Fatalf("unexpected findings: %+v", fs)
+	}
+	if _, _, err := ReplayEvents(strings.NewReader("not json\n"), MonitorOptions{}); err == nil {
+		t.Fatal("garbage line accepted")
+	}
+}

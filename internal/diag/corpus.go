@@ -1,0 +1,153 @@
+package diag
+
+import (
+	"fmt"
+	"math"
+
+	"transn/internal/rngstream"
+	"transn/internal/skipgram"
+	"transn/internal/transn"
+	"transn/internal/walk"
+)
+
+// ViewCoverage is the walk-corpus section for one view: how well a
+// corpus generated with the model's own walk configuration covers the
+// nodes the view is supposed to embed. The corpus is regenerated under
+// Options.CorpusSeed with the analyzer's private RNG streams — the
+// numbers characterize the *configuration* (walk length, per-node walk
+// counts, bias), not the exact paths training consumed.
+type ViewCoverage struct {
+	View   int  `json:"view"`
+	Hetero bool `json:"hetero"`
+	Nodes  int  `json:"nodes"`
+	Paths  int  `json:"paths"`
+	Steps  int  `json:"steps"`
+	// Coverage is the fraction of the view's nodes visited at least
+	// once. Nodes the corpus never visits get no single-view gradient
+	// in that iteration's pass.
+	Coverage float64 `json:"coverage"`
+	// VisitEntropy is the entropy of the visit-count distribution
+	// normalized by log(nodes): 1.0 means uniform attention, values
+	// near 0 mean the corpus fixates on a few hubs.
+	VisitEntropy float64 `json:"visit_entropy"`
+	// ContextPairsW1 / W2 count the (center, context) training pairs
+	// the corpus yields per Definition 6: W1 at offset ±1 (all views),
+	// W2 at offset ±2 (heter-views only, where ±1 neighbors are the
+	// other node type).
+	ContextPairsW1 int `json:"context_pairs_w1"`
+	ContextPairsW2 int `json:"context_pairs_w2"`
+	// RealizedMeanWeight vs UniformMeanWeight compare the mean edge
+	// weight of steps the walker actually took against the mean
+	// incident weight at the visited sources — what an unbiased
+	// uniform walker would realize. BiasRatio is their quotient: > 1
+	// means the π₁ weight bias is steering walks onto heavier edges;
+	// ≈ 1 for Simple walks or unweighted views.
+	RealizedMeanWeight float64 `json:"realized_mean_weight"`
+	UniformMeanWeight  float64 `json:"uniform_mean_weight"`
+	BiasRatio          float64 `json:"bias_ratio"`
+}
+
+// diagStreamCorpus namespaces the analyzer's corpus RNG streams so
+// they cannot collide with training's (streamWalk etc. derive from
+// Config.Seed; this derives from Options.CorpusSeed).
+const diagStreamCorpus = 1001
+
+func analyzeCorpus(m *transn.Model, opts Options, doc *Document) []ViewCoverage {
+	cfg := m.Cfg
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = cfg.Workers
+	}
+	if workers <= 0 {
+		workers = 1
+	}
+	wcfg := walk.CorpusConfig{
+		WalkLength:      cfg.WalkLength,
+		MinWalksPerNode: cfg.MinWalksPerNode,
+		MaxWalksPerNode: cfg.MaxWalksPerNode,
+	}
+	var out []ViewCoverage
+	for vi, v := range m.Views() {
+		cov := ViewCoverage{View: vi, Hetero: v.Hetero, Nodes: v.NumNodes()}
+		if v.NumNodes() > 0 {
+			var walker walk.Walker = walk.Simple{}
+			if !cfg.SimpleWalk {
+				walker = walk.NewCorrelated(v)
+			}
+			seed := rngstream.Derive(opts.CorpusSeed, diagStreamCorpus, int64(vi))
+			paths := walk.CorpusParallel(v, walker, wcfg, seed, workers)
+			st := walk.Stats(v, paths)
+			cov.Paths = st.Paths
+			cov.Steps = st.Steps
+			cov.Coverage = float64(st.Visited) / float64(cov.Nodes)
+			cov.VisitEntropy = visitEntropy(st.VisitCounts)
+			cov.ContextPairsW1, cov.ContextPairsW2 = contextPairs(paths, v.Hetero)
+			if st.Steps > 0 {
+				cov.RealizedMeanWeight = st.RealizedWeightSum / float64(st.Steps)
+				cov.UniformMeanWeight = st.UniformWeightSum / float64(st.Steps)
+				if cov.UniformMeanWeight > 0 {
+					cov.BiasRatio = cov.RealizedMeanWeight / cov.UniformMeanWeight
+				}
+			}
+		}
+		out = append(out, cov)
+		if cov.Nodes > 0 && cov.Coverage < opts.CoverageWarn {
+			doc.Add(Finding{
+				Severity: SeverityWarning, Code: CodeCorpusCoverage, View: vi, Pair: -1,
+				Message: fmt.Sprintf("walk corpus covers %.1f%% of view %d's %d nodes (threshold %.1f%%); uncovered nodes get no single-view gradient",
+					100*cov.Coverage, vi, cov.Nodes, 100*opts.CoverageWarn),
+			})
+		}
+	}
+	return out
+}
+
+// visitEntropy returns the entropy of the visit distribution normalized
+// to [0, 1] by the uniform maximum log(n); 1.0 for a single-node view.
+func visitEntropy(counts []int) float64 {
+	if len(counts) <= 1 {
+		return 1
+	}
+	var total float64
+	for _, c := range counts {
+		total += float64(c)
+	}
+	if total == 0 {
+		return 0
+	}
+	var h float64
+	for _, c := range counts {
+		if c > 0 {
+			p := float64(c) / total
+			h -= p * math.Log(p)
+		}
+	}
+	return h / math.Log(float64(len(counts)))
+}
+
+// contextPairs counts the directed (center, context) pairs the
+// skip-gram pass extracts from the corpus: per path position, one pair
+// per valid offset from skipgram.ContextOffsets. W1 collects offsets
+// ±1, W2 offsets ±2 (present only for heter-views, per Definition 6).
+func contextPairs(paths [][]int, hetero bool) (w1, w2 int) {
+	offsets := skipgram.ContextOffsets(hetero)
+	for _, p := range paths {
+		n := len(p)
+		for _, o := range offsets {
+			step := o
+			if step < 0 {
+				step = -step
+			}
+			valid := n - step
+			if valid < 0 {
+				valid = 0
+			}
+			if step == 1 {
+				w1 += valid
+			} else {
+				w2 += valid
+			}
+		}
+	}
+	return w1, w2
+}

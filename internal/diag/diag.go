@@ -1,0 +1,327 @@
+// Package diag inspects trained TransN models, walk corpora and
+// training histories and reports what it finds as a schema-stable JSON
+// document. It is the model-and-data counterpart of internal/obs:
+// where obs makes the training *process* observable (spans, metrics,
+// events), diag judges the *artifacts* — are the view embeddings
+// finite and non-collapsed, do the translators actually map between
+// view spaces, did the walk corpus cover the views it was supposed to
+// embed, did the loss curve converge — so a degenerate run is a named
+// finding instead of a silently worse downstream score.
+//
+// Three analyzers feed one Document:
+//
+//   - embedding/translator health (model.go): per-view norm
+//     distributions, NaN/Inf sweeps, collapsed-dimension and
+//     variance-spectrum checks, and per-pair translator quality —
+//     Eq. 11–14 translation residuals on common nodes and the
+//     round-trip consistency ‖T_{j→i}(T_{i→j}(A)) − A‖.
+//   - walk-corpus coverage (corpus.go): per-view node coverage,
+//     visit-count entropy, Definition 6 context-pair counts, and the
+//     realized-vs-uniform step-weight ratio that shows whether the
+//     π₁/π₂ walk bias is doing anything.
+//   - convergence (convergence.go): an online plateau/divergence/
+//     non-finite detector over the iteration loss stream, usable live
+//     (as a Config.Observer middleware) or offline (over
+//     Model.History or a recorded event log).
+//
+// Everything here is observe-only: analyzers never mutate the model,
+// consume none of its RNG streams, and attach to training only through
+// the serialized Observer callback — deterministic runs produce
+// byte-identical embeddings with or without diagnostics (pinned by
+// TestDiagnosticsObserveOnly).
+//
+// The package is stdlib-only, like the rest of the repo.
+package diag
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"transn/internal/transn"
+)
+
+// Schema identifies the JSON diagnostics document layout. Consumers
+// (CI's diagnose smoke job, external tooling) match on this string;
+// any breaking change to the document shape must bump the version
+// suffix. The schema is append-only within a version.
+const Schema = "transn.diagnostics/v1"
+
+// Severity grades a finding. Error findings make a document unhealthy
+// and `transn diagnose` exit non-zero; warnings and infos are advisory.
+type Severity string
+
+const (
+	SeverityInfo    Severity = "info"
+	SeverityWarning Severity = "warning"
+	SeverityError   Severity = "error"
+)
+
+// Finding codes are stable identifiers — tooling matches on them, so
+// renaming one is a schema break.
+const (
+	CodeEmbeddingNonFinite  = "embedding.nonfinite"
+	CodeEmbeddingZero       = "embedding.zero"
+	CodeEmbeddingCollapsed  = "embedding.collapsed"
+	CodeTranslatorNonFinite = "translator.nonfinite"
+	CodeTranslatorResidual  = "translator.residual"
+	CodeCorpusCoverage      = "corpus.coverage"
+	CodeLossNonFinite       = "convergence.nonfinite"
+	CodeLossDiverged        = "convergence.diverged"
+	CodeLossPlateau         = "convergence.plateau"
+)
+
+// Finding is one named verdict about the inspected artifacts. View and
+// Pair are -1 when the finding is not scoped to one.
+type Finding struct {
+	Severity Severity `json:"severity"`
+	Code     string   `json:"code"`
+	View     int      `json:"view"`
+	Pair     int      `json:"pair"`
+	Message  string   `json:"message"`
+}
+
+// Document is the schema-stable diagnostics report. Required fields
+// (validated by Validate): schema, name, healthy, findings. The
+// analyzer sections are optional — a corpus-less diagnose run omits
+// corpus, a model loaded from disk has no training history and omits
+// convergence — so every producer shares one schema.
+type Document struct {
+	Schema  string `json:"schema"`
+	Name    string `json:"name"`
+	Healthy bool   `json:"healthy"`
+
+	Model       *ModelHealth       `json:"model,omitempty"`
+	Corpus      []ViewCoverage     `json:"corpus,omitempty"`
+	Convergence *ConvergenceReport `json:"convergence,omitempty"`
+
+	Findings []Finding `json:"findings"`
+}
+
+// Add appends findings and updates Healthy.
+func (d *Document) Add(fs ...Finding) {
+	d.Findings = append(d.Findings, fs...)
+	d.Finalize()
+}
+
+// Finalize recomputes Healthy from the findings: a document is healthy
+// iff it has no error-severity finding. Write calls it automatically.
+func (d *Document) Finalize() {
+	d.Healthy = true
+	for _, f := range d.Findings {
+		if f.Severity == SeverityError {
+			d.Healthy = false
+			return
+		}
+	}
+}
+
+// Err returns nil for a healthy document, or an error naming the first
+// error-severity finding (and the total count) — the CLI exit verdict.
+func (d *Document) Err() error {
+	var first *Finding
+	n := 0
+	for i, f := range d.Findings {
+		if f.Severity == SeverityError {
+			if first == nil {
+				first = &d.Findings[i]
+			}
+			n++
+		}
+	}
+	if first == nil {
+		return nil
+	}
+	return fmt.Errorf("diagnostics found %d error finding(s), first: [%s] %s", n, first.Code, first.Message)
+}
+
+// Options configures Analyze. The zero value is usable: every field
+// has a default.
+type Options struct {
+	// Name is the document name (default "diagnostics").
+	Name string
+
+	// SkipCorpus disables the walk-coverage analyzer (which has to
+	// generate fresh corpora — the only non-trivially-cheap analyzer).
+	SkipCorpus bool
+	// CorpusSeed seeds the diagnostic walk corpora (default 1). The
+	// corpora are the analyzer's own: generating them never touches the
+	// model's RNG streams.
+	CorpusSeed int64
+	// Workers is the worker-pool size for corpus generation; 0 uses the
+	// model's trained Cfg.Workers.
+	Workers int
+	// CoverageWarn is the per-view coverage ratio below which a
+	// corpus.coverage warning fires (default 0.95).
+	CoverageWarn float64
+
+	// CollapseVarTol is the per-dimension variance below which a
+	// dimension counts as collapsed (default 1e-12).
+	CollapseVarTol float64
+	// TopShareWarn is the variance share of the single largest
+	// dimension above which an embedding.collapsed warning fires
+	// (default 0.9).
+	TopShareWarn float64
+	// ResidualWarn is the per-element translation/round-trip MSE above
+	// which a translator.residual warning fires. Translator outputs and
+	// targets are row-normalized (unit variance), so 2.0 is the
+	// expected MSE of two unrelated embeddings; the default 1.5 flags
+	// translators doing little better than chance.
+	ResidualWarn float64
+	// SegmentsPerPair caps the common-node segments scored per pair per
+	// direction (default 16).
+	SegmentsPerPair int
+
+	// Monitor configures the offline convergence analysis.
+	Monitor MonitorOptions
+}
+
+func (o Options) withDefaults() Options {
+	if o.Name == "" {
+		o.Name = "diagnostics"
+	}
+	if o.CorpusSeed == 0 {
+		o.CorpusSeed = 1
+	}
+	if o.CoverageWarn == 0 {
+		o.CoverageWarn = 0.95
+	}
+	if o.CollapseVarTol == 0 {
+		o.CollapseVarTol = 1e-12
+	}
+	if o.TopShareWarn == 0 {
+		o.TopShareWarn = 0.9
+	}
+	if o.ResidualWarn == 0 {
+		o.ResidualWarn = 1.5
+	}
+	if o.SegmentsPerPair == 0 {
+		o.SegmentsPerPair = 16
+	}
+	return o
+}
+
+// Analyze inspects a trained (or loaded) model and returns the
+// diagnostics document: embedding/translator health always, walk
+// coverage unless opts.SkipCorpus, and convergence when the model
+// carries a training history (models reconstructed by Load do not —
+// replay a recorded event stream with ReplayEvents instead and attach
+// the result). Analyze is observe-only; it is safe on any model Train
+// or Load returned, but not concurrently with a still-running Train.
+func Analyze(m *transn.Model, opts Options) *Document {
+	opts = opts.withDefaults()
+	doc := &Document{Schema: Schema, Name: opts.Name}
+	doc.Model = analyzeModel(m, opts, doc)
+	if !opts.SkipCorpus {
+		doc.Corpus = analyzeCorpus(m, opts, doc)
+	}
+	if len(m.History) > 0 {
+		conv, fs := AnalyzeHistory(m.History, opts.Monitor)
+		doc.Convergence = conv
+		doc.Add(fs...)
+	}
+	doc.Finalize()
+	return doc
+}
+
+// Write writes the document as indented JSON with a trailing newline —
+// the exact bytes `transn diagnose` emits and CI validates. Healthy is
+// recomputed first so a hand-assembled document cannot contradict its
+// own findings.
+func Write(w io.Writer, d *Document) error {
+	d.Finalize()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
+}
+
+// Validate checks that data is a well-formed diagnostics document:
+// valid JSON, the expected schema string, required fields with the
+// right types, findings with known severities and non-empty codes, and
+// a Healthy flag consistent with the findings. Unknown extra fields
+// are allowed (the schema is append-only within a version). It is the
+// diag mirror of obs.ValidateReport.
+func Validate(data []byte) error {
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return fmt.Errorf("diagnostics document is not valid JSON: %w", err)
+	}
+	req := func(key string, dst any) error {
+		msg, ok := raw[key]
+		if !ok {
+			return fmt.Errorf("diagnostics document is missing required field %q", key)
+		}
+		if err := json.Unmarshal(msg, dst); err != nil {
+			return fmt.Errorf("field %q: %w", key, err)
+		}
+		return nil
+	}
+	var schema string
+	if err := req("schema", &schema); err != nil {
+		return err
+	}
+	if schema != Schema {
+		return fmt.Errorf("diagnostics schema %q, want %q", schema, Schema)
+	}
+	var name string
+	if err := req("name", &name); err != nil {
+		return err
+	}
+	if name == "" {
+		return fmt.Errorf("diagnostics document name is empty")
+	}
+	var healthy bool
+	if err := req("healthy", &healthy); err != nil {
+		return err
+	}
+	var findings []Finding
+	if err := req("findings", &findings); err != nil {
+		return err
+	}
+	sawError := false
+	for i, f := range findings {
+		switch f.Severity {
+		case SeverityInfo, SeverityWarning, SeverityError:
+		default:
+			return fmt.Errorf("finding %d has unknown severity %q", i, f.Severity)
+		}
+		if f.Code == "" {
+			return fmt.Errorf("finding %d has an empty code", i)
+		}
+		if f.Message == "" {
+			return fmt.Errorf("finding %d [%s] has an empty message", i, f.Code)
+		}
+		if f.Severity == SeverityError {
+			sawError = true
+		}
+	}
+	if healthy == sawError {
+		return fmt.Errorf("healthy=%v contradicts findings (error findings present: %v)", healthy, sawError)
+	}
+	// Optional sections still type-check when present.
+	for _, opt := range []struct {
+		key string
+		dst any
+	}{
+		{"model", &ModelHealth{}},
+		{"corpus", &[]ViewCoverage{}},
+		{"convergence", &ConvergenceReport{}},
+	} {
+		if msg, ok := raw[opt.key]; ok {
+			if err := json.Unmarshal(msg, opt.dst); err != nil {
+				return fmt.Errorf("field %q: %w", opt.key, err)
+			}
+		}
+	}
+	var corpus []ViewCoverage
+	if msg, ok := raw["corpus"]; ok {
+		if err := json.Unmarshal(msg, &corpus); err == nil {
+			for _, c := range corpus {
+				if c.Coverage < 0 || c.Coverage > 1 {
+					return fmt.Errorf("view %d coverage %v outside [0, 1]", c.View, c.Coverage)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -21,6 +21,7 @@ import (
 	"transn/internal/dataset"
 	"transn/internal/graph"
 	"transn/internal/mat"
+	"transn/internal/obs"
 	"transn/internal/transn"
 )
 
@@ -31,6 +32,10 @@ type Options struct {
 	Seed    int64
 	Reps    int // classification repetitions (paper: 10)
 	Workers int // TransN worker-pool size (0 = all cores, 1 = serial)
+	// Observer, when non-nil, is installed as the Config.Observer of
+	// every TransN training this run performs (benchrun threads its
+	// convergence monitor through here). Baselines ignore it.
+	Observer func(obs.TrainEvent)
 }
 
 // DefaultOptions returns fast settings for iterative use.
@@ -70,13 +75,14 @@ func (m TransNMethod) Embed(g *graph.Graph, dim int, seed int64) (*mat.Dense, er
 }
 
 // transnConfig returns TransN hyperparameters scaled to the run size.
-func transnConfig(size dataset.Size, workers int) transn.Config {
+func transnConfig(o Options) transn.Config {
 	cfg := transn.DefaultConfig()
 	// Tables must be reproducible run to run: shard across the pool but
 	// apply updates in deterministic shard order.
-	cfg.Workers = workers
+	cfg.Workers = o.Workers
 	cfg.DeterministicApply = true
-	if size == dataset.Quick {
+	cfg.Observer = o.Observer
+	if o.Size == dataset.Quick {
 		cfg.WalkLength = 20
 		cfg.MinWalksPerNode = 4
 		cfg.MaxWalksPerNode = 10
@@ -110,8 +116,8 @@ func metaPattern(datasetName string) []string {
 
 // Methods returns the Table III/IV method roster for a dataset: the
 // seven baselines plus TransN, in the paper's row order.
-func Methods(datasetName string, size dataset.Size, workers int) []baselines.Method {
-	quick := size == dataset.Quick
+func Methods(datasetName string, o Options) []baselines.Method {
+	quick := o.Size == dataset.Quick
 	scale := func(full, q int) int {
 		if quick {
 			return q
@@ -134,15 +140,15 @@ func Methods(datasetName string, size dataset.Size, workers int) []baselines.Met
 		mve.Method{NumWalks: scale(6, 3), WalkLength: scale(40, 20), Iterations: scale(4, 2)},
 		rgcn.Method{Epochs: scale(80, 40), Batch: scale(256, 128)},
 		simple.Method{Epochs: scale(300, 250)},
-		TransNMethod{Cfg: transnConfig(size, workers)},
+		TransNMethod{Cfg: transnConfig(o)},
 	)
 	return methods
 }
 
 // AblationMethods returns the Table V roster: the five degenerated
 // variants plus the full model.
-func AblationMethods(size dataset.Size, workers int) []baselines.Method {
-	base := transnConfig(size, workers)
+func AblationMethods(o Options) []baselines.Method {
+	base := transnConfig(o)
 	mk := func(label string, mutate func(*transn.Config)) TransNMethod {
 		cfg := base
 		mutate(&cfg)

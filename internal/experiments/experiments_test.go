@@ -28,7 +28,7 @@ func TestTable2PrintsAllDatasets(t *testing.T) {
 }
 
 func TestMethodsRosterOrder(t *testing.T) {
-	ms := Methods("AMiner", dataset.Quick, 0)
+	ms := Methods("AMiner", Options{Size: dataset.Quick})
 	want := []string{"LINE", "Node2Vec", "Metapath2Vec", "HIN2VEC", "MVE", "R-GCN", "SimplE", "TransN"}
 	if len(ms) != len(want) {
 		t.Fatalf("roster size %d want %d", len(ms), len(want))
@@ -41,7 +41,7 @@ func TestMethodsRosterOrder(t *testing.T) {
 }
 
 func TestAblationRosterOrder(t *testing.T) {
-	ms := AblationMethods(dataset.Quick, 0)
+	ms := AblationMethods(Options{Size: dataset.Quick})
 	want := []string{
 		"TransN-Without-Cross-View",
 		"TransN-With-Simple-Walk",
@@ -86,7 +86,7 @@ func TestMetaPatternsResolve(t *testing.T) {
 // benchmark suite.
 func TestClassifyRowSingleMethod(t *testing.T) {
 	g := dataset.AMiner(dataset.Quick, 1)
-	m := Methods("AMiner", dataset.Quick, 0)[0] // LINE
+	m := Methods("AMiner", Options{Size: dataset.Quick})[0] // LINE
 	row, err := classifyRow(g, "AMiner", m, tinyOpts())
 	if err != nil {
 		t.Fatal(err)
@@ -101,7 +101,7 @@ func TestClassifyRowSingleMethod(t *testing.T) {
 
 func TestTransNMethodAdapter(t *testing.T) {
 	g := dataset.AMiner(dataset.Quick, 1)
-	m := TransNMethod{Cfg: transnConfig(dataset.Quick, 0)}
+	m := TransNMethod{Cfg: transnConfig(Options{Size: dataset.Quick})}
 	emb, err := m.Embed(g, 16, 3)
 	if err != nil {
 		t.Fatal(err)

@@ -40,7 +40,7 @@ func Table3(w io.Writer, opts Options) ([]Row, error) {
 	var rows []Row
 	for _, spec := range dataset.All() {
 		g := spec.Generate(opts.Size, opts.Seed)
-		for _, m := range Methods(spec.Name, opts.Size, opts.Workers) {
+		for _, m := range Methods(spec.Name, opts) {
 			row, err := classifyRow(g, spec.Name, m, opts)
 			if err != nil {
 				return nil, fmt.Errorf("table3 %s/%s: %w", spec.Name, m.Name(), err)
@@ -82,7 +82,7 @@ func Table4(w io.Writer, opts Options) ([]Row, error) {
 		if err != nil {
 			return nil, fmt.Errorf("table4 %s: %w", spec.Name, err)
 		}
-		for _, m := range Methods(spec.Name, opts.Size, opts.Workers) {
+		for _, m := range Methods(spec.Name, opts) {
 			emb, err := m.Embed(sub, opts.Dim, opts.Seed)
 			if err != nil {
 				return nil, fmt.Errorf("table4 %s/%s: %w", spec.Name, m.Name(), err)
@@ -105,7 +105,7 @@ func Table5(w io.Writer, opts Options) ([]Row, error) {
 	var rows []Row
 	for _, spec := range dataset.All() {
 		g := spec.Generate(opts.Size, opts.Seed)
-		for _, m := range AblationMethods(opts.Size, opts.Workers) {
+		for _, m := range AblationMethods(opts) {
 			row, err := classifyRow(g, spec.Name, m, opts)
 			if err != nil {
 				return nil, fmt.Errorf("table5 %s/%s: %w", spec.Name, m.Name(), err)
@@ -158,11 +158,10 @@ func Figure6(w io.Writer, opts Options) ([]Figure6Result, error) {
 		return nil, fmt.Errorf("figure6: no labeled applets")
 	}
 
-	size := opts.Size
 	methods := []baselines.Method{
-		pickMethod(Methods("App-Daily", size, opts.Workers), "HIN2VEC"),
-		pickMethod(Methods("App-Daily", size, opts.Workers), "SimplE"),
-		pickMethod(Methods("App-Daily", size, opts.Workers), "TransN"),
+		pickMethod(Methods("App-Daily", opts), "HIN2VEC"),
+		pickMethod(Methods("App-Daily", opts), "SimplE"),
+		pickMethod(Methods("App-Daily", opts), "TransN"),
 	}
 	var results []Figure6Result
 	fmt.Fprintln(w, "Figure 6: t-SNE projections of applet embeddings (App-Daily)")
@@ -220,7 +219,7 @@ func TableClustering(w io.Writer, opts Options) ([]Row, error) {
 		for i, id := range labeled {
 			labels[i] = g.Label(id)
 		}
-		for _, m := range Methods(spec.Name, opts.Size, opts.Workers) {
+		for _, m := range Methods(spec.Name, opts) {
 			emb, err := m.Embed(g, opts.Dim, opts.Seed)
 			if err != nil {
 				return nil, fmt.Errorf("clustering %s/%s: %w", spec.Name, m.Name(), err)

@@ -15,6 +15,20 @@ const (
 	// StageIteration closes one outer iteration with the iteration-mean
 	// losses — the loss-curve event.
 	StageIteration Stage = "iteration"
+	// StageDiagnostic marks a synthesized health event: the trainer's
+	// non-finite guard and internal/diag's convergence monitor emit these
+	// alongside (never instead of) the regular stage stream. Level and
+	// Message carry the verdict; losses and Examples are zero.
+	StageDiagnostic Stage = "diagnostic"
+)
+
+// Severity levels of StageDiagnostic events.
+const (
+	// LevelInfo marks an advisory observation (e.g. a loss plateau).
+	LevelInfo = "info"
+	// LevelWarning marks a health problem the run can still continue
+	// from being reported (e.g. divergence, a non-finite loss).
+	LevelWarning = "warning"
 )
 
 // TrainEvent is one entry of the typed training event stream, delivered
@@ -47,6 +61,12 @@ type TrainEvent struct {
 
 	DurationSeconds float64 `json:"duration_seconds"`
 	ExamplesPerSec  float64 `json:"examples_per_sec"`
+
+	// Level and Message are set only on StageDiagnostic events (the
+	// schema is append-only within a version, so their addition does not
+	// bump ReportSchema). Level is LevelInfo or LevelWarning.
+	Level   string `json:"level,omitempty"`
+	Message string `json:"message,omitempty"`
 }
 
 // Deterministic returns the event with its timing fields zeroed: the

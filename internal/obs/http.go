@@ -8,23 +8,38 @@ import (
 	"time"
 )
 
+// Route is an extra handler mounted on the debug server, letting
+// callers attach endpoints obs itself cannot know about without an
+// import cycle — cmd/transn mounts internal/diag's live convergence
+// monitor at /debug/diagnostics this way.
+type Route struct {
+	Pattern string
+	Handler http.Handler
+}
+
 // ServeDebug starts the debug HTTP endpoint for the run on addr
 // (":0" picks a free port) and returns the server plus the bound
 // address. Routes:
 //
-//	/metrics        JSON run report (live snapshot)
-//	/debug/vars     expvar (Go runtime stats + anything published)
-//	/debug/pprof/   CPU/heap/goroutine/... profiles (net/http/pprof)
+//	/metrics             JSON run report (live snapshot)
+//	/debug/vars          expvar (Go runtime stats + anything published)
+//	/debug/pprof/        CPU/heap/goroutine/... profiles (net/http/pprof)
+//	/debug/diagnostics   live diagnostics, when the CLI mounts one (extra)
 //
 // The handlers are registered on a private mux — nothing leaks into
 // http.DefaultServeMux — and the server runs on its own goroutine
-// until Close/Shutdown. Both CLIs wire this behind -debug-addr.
-func (r *Run) ServeDebug(addr string) (*http.Server, string, error) {
+// until Close/Shutdown. Both CLIs wire this behind -debug-addr. extra
+// routes are mounted after the built-ins; their patterns must not
+// collide with the routes above.
+func (r *Run) ServeDebug(addr string, extra ...Route) (*http.Server, string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, "", err
 	}
 	mux := http.NewServeMux()
+	for _, rt := range extra {
+		mux.Handle(rt.Pattern, rt.Handler)
+	}
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		_ = WriteReport(w, r.Report("live"))

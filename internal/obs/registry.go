@@ -60,6 +60,17 @@ func (g *Gauge) Value() float64 {
 // into it without any synchronization, and Flush at the shard boundary
 // — the merge is exact, so concurrent shards sum to precisely the
 // serial totals.
+//
+// Bucket-assignment contract (pinned by TestHistogramBucketContract):
+// a value lands in the first bucket whose upper bound it does not
+// exceed, so a value exactly on a bound belongs to that bound's bucket
+// (bounds are inclusive). -Inf lands in the first bucket, +Inf in the
+// overflow bucket, and NaN — which no comparison can place — in the
+// overflow bucket as well. Non-finite samples are counted in Count and
+// their bucket but excluded from Sum, so snapshots and the JSON run
+// report stay encodable (encoding/json rejects NaN/±Inf) and a single
+// poisoned sample cannot erase the sum of every healthy one; a
+// non-finite stream is still visible as overflow/underflow mass.
 type Histogram struct {
 	bounds  []float64
 	counts  []atomic.Int64
@@ -84,13 +95,17 @@ func (h *Histogram) bucket(v float64) int {
 	return len(h.bounds)
 }
 
-// Observe records one sample.
+// Observe records one sample. See the type doc for how non-finite
+// samples are bucketed.
 func (h *Histogram) Observe(v float64) {
 	if h == nil {
 		return
 	}
 	h.counts[h.bucket(v)].Add(1)
 	h.n.Add(1)
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return
+	}
 	for {
 		old := h.sumBits.Load()
 		nv := math.Float64bits(math.Float64frombits(old) + v)
@@ -118,14 +133,18 @@ type LocalHist struct {
 	n      int64
 }
 
-// Observe records one sample locally (no atomics, no locks).
+// Observe records one sample locally (no atomics, no locks), under the
+// same non-finite contract as Histogram.Observe.
 func (l *LocalHist) Observe(v float64) {
 	if l == nil {
 		return
 	}
 	l.counts[l.h.bucket(v)]++
-	l.sum += v
 	l.n++
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return
+	}
+	l.sum += v
 }
 
 // Flush merges the local samples into the parent and resets the local

@@ -148,3 +148,89 @@ func TestGaugeSetAndRegistryIdempotent(t *testing.T) {
 		t.Fatal("second Histogram lookup returned a different metric")
 	}
 }
+
+// TestHistogramBucketContract pins the bucket-assignment contract
+// documented on Histogram: inclusive upper bounds, -Inf in the first
+// bucket, +Inf and NaN in the overflow bucket, and non-finite samples
+// counted but excluded from Sum. Both the atomic and the shard-local
+// paths must agree.
+func TestHistogramBucketContract(t *testing.T) {
+	bounds := []float64{1, 2, 4}
+	inf := math.Inf(1)
+	cases := []struct {
+		name   string
+		v      float64
+		bucket int  // index into counts (len(bounds)+1 buckets)
+		inSum  bool // contributes to Sum
+	}{
+		{"below all bounds", 0.5, 0, true},
+		{"exactly on first bound", 1, 0, true},
+		{"between bounds", 1.5, 1, true},
+		{"exactly on middle bound", 2, 1, true},
+		{"exactly on last bound", 4, 2, true},
+		{"just above last bound", 4.0000001, 3, true},
+		{"overflow", 100, 3, true},
+		{"negative", -3, 0, true},
+		{"-Inf", math.Inf(-1), 0, false},
+		{"+Inf", inf, 3, false},
+		{"NaN", math.NaN(), 3, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for _, mode := range []string{"atomic", "local"} {
+				h := newHistogram(bounds)
+				switch mode {
+				case "atomic":
+					h.Observe(tc.v)
+				case "local":
+					l := h.Local()
+					l.Observe(tc.v)
+					l.Flush()
+				}
+				s := h.Snapshot()
+				if s.Count != 1 {
+					t.Fatalf("%s: count = %d, want 1", mode, s.Count)
+				}
+				for i, c := range s.Counts {
+					want := int64(0)
+					if i == tc.bucket {
+						want = 1
+					}
+					if c != want {
+						t.Fatalf("%s: bucket %d count = %d, want %d (value %v)",
+							mode, i, c, want, tc.v)
+					}
+				}
+				wantSum := 0.0
+				if tc.inSum {
+					wantSum = tc.v
+				}
+				if s.Sum != wantSum {
+					t.Fatalf("%s: sum = %v, want %v", mode, s.Sum, wantSum)
+				}
+			}
+		})
+	}
+}
+
+// TestHistogramNonFiniteStreamStaysEncodable feeds a histogram a mix of
+// finite and non-finite samples and checks the snapshot still has a
+// finite sum (so run reports remain JSON-encodable) while every sample
+// is accounted for in the bucket counts.
+func TestHistogramNonFiniteStreamStaysEncodable(t *testing.T) {
+	h := newHistogram([]float64{1, 2})
+	for _, v := range []float64{0.5, math.NaN(), 1.5, math.Inf(1), math.Inf(-1), 3} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 6 {
+		t.Fatalf("count = %d, want 6", s.Count)
+	}
+	if got, want := s.Sum, 0.5+1.5+3; got != want {
+		t.Fatalf("sum = %v, want %v", got, want)
+	}
+	// -Inf in bucket 0 alongside 0.5; NaN and +Inf in overflow with 3.
+	if s.Counts[0] != 2 || s.Counts[1] != 1 || s.Counts[2] != 3 {
+		t.Fatalf("bucket counts = %v, want [2 1 3]", s.Counts)
+	}
+}

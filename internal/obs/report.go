@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 )
 
 // ReportSchema identifies the JSON run-report layout. Consumers
@@ -63,6 +64,72 @@ type Report struct {
 	// Metrics carries run-level result numbers keyed by free-form path,
 	// e.g. benchrun's "table3/AMiner/TransN/Micro-F1".
 	Metrics map[string]float64 `json:"metrics,omitempty"`
+
+	// Diagnostics optionally embeds a transn.diagnostics/v1 document
+	// (internal/diag) produced for the same run — `transn train
+	// -diagnose` fills it. Kept as raw JSON so obs does not depend on
+	// the diagnostics schema.
+	Diagnostics json.RawMessage `json:"diagnostics,omitempty"`
+
+	// NonFiniteValues counts report numbers that were NaN/±Inf and were
+	// zeroed by Sanitize so the report stays JSON-encodable. Zero (and
+	// omitted) on healthy runs; a non-zero value is itself a finding —
+	// the diagnostics section names the culprit.
+	NonFiniteValues int `json:"non_finite_values,omitempty"`
+}
+
+// Sanitize replaces every non-finite float in the report with zero and
+// returns how many were replaced, recording the count in
+// NonFiniteValues. encoding/json rejects NaN/±Inf outright, so without
+// this a single diverged loss gauge would make the whole report
+// unwritable — exactly when a report is most needed. WriteReport calls
+// it automatically.
+func (rep *Report) Sanitize() int {
+	n := 0
+	fix := func(v *float64) {
+		if math.IsNaN(*v) || math.IsInf(*v, 0) {
+			*v = 0
+			n++
+		}
+	}
+	fix(&rep.WallSeconds)
+	fix(&rep.ExamplesPerSec)
+	for i := range rep.Stages {
+		fix(&rep.Stages[i].TotalSeconds)
+		fix(&rep.Stages[i].MinSeconds)
+		fix(&rep.Stages[i].MaxSeconds)
+	}
+	for k, v := range rep.Gauges {
+		fix(&v)
+		rep.Gauges[k] = v
+	}
+	for k, v := range rep.Metrics {
+		fix(&v)
+		rep.Metrics[k] = v
+	}
+	for k, h := range rep.Histograms {
+		fix(&h.Sum)
+		rep.Histograms[k] = h
+	}
+	for i := range rep.Views {
+		fix(&rep.Views[i].LSingle)
+	}
+	for i := range rep.Pairs {
+		fix(&rep.Pairs[i].LCross)
+	}
+	for i := range rep.Iterations {
+		it := &rep.Iterations[i]
+		fix(&it.LSingle)
+		fix(&it.LCross)
+		for j := range it.ViewLoss {
+			fix(&it.ViewLoss[j])
+		}
+		for j := range it.PairLoss {
+			fix(&it.PairLoss[j])
+		}
+	}
+	rep.NonFiniteValues += n
+	return n
 }
 
 // Report snapshots the run into a report named name. Training sections
@@ -95,8 +162,10 @@ func (r *Run) Report(name string) *Report {
 }
 
 // WriteReport writes the report as indented JSON with a trailing
-// newline, the exact bytes the CLIs emit and CI validates.
+// newline, the exact bytes the CLIs emit and CI validates. The report
+// is sanitized first (see Sanitize), so it always encodes.
 func WriteReport(w io.Writer, rep *Report) error {
+	rep.Sanitize()
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(rep)
@@ -168,6 +237,7 @@ func ValidateReport(data []byte) error {
 		{"pairs", &[]PairReport{}},
 		{"iterations", &[]IterationReport{}},
 		{"metrics", &map[string]float64{}},
+		{"diagnostics", &map[string]json.RawMessage{}},
 	} {
 		if msg, ok := raw[opt.key]; ok {
 			if err := json.Unmarshal(msg, opt.dst); err != nil {

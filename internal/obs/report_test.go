@@ -3,6 +3,7 @@ package obs
 import (
 	"bytes"
 	"encoding/json"
+	"math"
 	"strings"
 	"testing"
 	"time"
@@ -87,5 +88,36 @@ func TestValidateReportRejectsNegativeDurations(t *testing.T) {
 	data, _ := json.Marshal(rep)
 	if err := ValidateReport(data); err == nil {
 		t.Fatal("negative wall_seconds should fail validation")
+	}
+}
+
+// TestReportSanitizeNonFinite checks that WriteReport survives
+// non-finite values (which encoding/json rejects) by zeroing them and
+// counting the replacements, and that the result still validates.
+func TestReportSanitizeNonFinite(t *testing.T) {
+	run := NewRun()
+	run.Reg.Gauge("loss.single").Set(math.NaN())
+	run.Reg.Gauge("loss.cross").Set(math.Inf(1))
+	run.Reg.Gauge("healthy").Set(2.5)
+	rep := run.Report("sanitize-test")
+	rep.Iterations = []IterationReport{{Iteration: 0, LSingle: math.NaN(), ViewLoss: []float64{1, math.Inf(-1)}}}
+	rep.Metrics = map[string]float64{"bad": math.NaN(), "good": 1}
+
+	var buf bytes.Buffer
+	if err := WriteReport(&buf, rep); err != nil {
+		t.Fatalf("WriteReport with non-finite values: %v", err)
+	}
+	if err := ValidateReport(buf.Bytes()); err != nil {
+		t.Fatalf("sanitized report does not validate: %v", err)
+	}
+	// NaN gauge, +Inf gauge, NaN iteration loss, -Inf view loss, NaN metric.
+	if rep.NonFiniteValues != 5 {
+		t.Fatalf("NonFiniteValues = %d, want 5", rep.NonFiniteValues)
+	}
+	if rep.Gauges["healthy"] != 2.5 || rep.Metrics["good"] != 1 {
+		t.Fatal("sanitize clobbered finite values")
+	}
+	if rep.Gauges["loss.single"] != 0 || rep.Metrics["bad"] != 0 {
+		t.Fatal("sanitize left non-finite values in place")
 	}
 }

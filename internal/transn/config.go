@@ -106,6 +106,14 @@ type Config struct {
 	// The callback runs inline with training: keep it cheap or hand off
 	// to a channel. Not serialized by Save (functions have no wire form).
 	Observer func(obs.TrainEvent)
+	// ModelReady, when non-nil, is called exactly once — synchronously,
+	// after initialization, before the first iteration — with the model
+	// Train will return. It hands live-inspection tooling (diagnostics
+	// endpoints, tests) a handle to the in-training model; Report and
+	// FinalLosses are safe to call on it concurrently with training,
+	// everything else must wait for Train to return. Not serialized by
+	// Save (functions have no wire form).
+	ModelReady func(*Model)
 	// Telemetry, when non-nil, collects this run's metrics: stage spans
 	// with worker attribution, counters (walks, skip-gram pairs,
 	// cross-view segments), loss gauges, a cross-segment loss histogram,

@@ -1,0 +1,162 @@
+package transn
+
+import (
+	"fmt"
+	"math"
+
+	"transn/internal/mat"
+	"transn/internal/obs"
+)
+
+// This file is the trainer's non-finite guard: a NaN or Inf that sneaks
+// into an embedding table or translator (a blown-up learning rate, a
+// degenerate graph, a poisoned input) silently corrupts everything the
+// run produces afterwards, so Algorithm 1 watches for one at every
+// iteration boundary and reports it as a StageDiagnostic warning event
+// instead of training on garbage unannounced. The scan is deliberately
+// cheap — the iteration's already-computed losses (which inherit
+// non-finiteness from the tables that produced them), every translator
+// parameter (a few KB), and a fixed-stride sample of embedding rows —
+// and runs at shard-merge boundaries only, never inside shard loops.
+// The full-table sweep happens once, via CheckFinite, when training
+// ends; `transn train` fails with a clear error if it trips.
+
+// probeRows bounds the per-view embedding rows sampled each iteration.
+const probeRows = 64
+
+func isFinite(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0)
+}
+
+// finiteSlice returns the index of the first non-finite element, or -1.
+func finiteSlice(xs []float64) int {
+	for i, v := range xs {
+		if !isFinite(v) {
+			return i
+		}
+	}
+	return -1
+}
+
+// guardIteration checks the freshly merged iteration stats and a
+// deterministic sample of model state for non-finite values. On the
+// first detection it marks the model and emits one StageDiagnostic
+// warning through the Observer; later iterations stay quiet (the run
+// report and CheckFinite carry the final verdict), so a diverged run
+// does not flood the event stream.
+func (m *Model) guardIteration(st *IterStats) {
+	if m.nonFinite {
+		return
+	}
+	bad := m.nonFiniteIn(st)
+	if bad == "" {
+		return
+	}
+	m.nonFinite = true
+	m.emit(obs.TrainEvent{
+		Stage: obs.StageDiagnostic, View: -1, Pair: -1, Epoch: st.Iteration,
+		Level:   obs.LevelWarning,
+		Message: fmt.Sprintf("non-finite %s at iteration %d; model state is corrupt from here on", bad, st.Iteration),
+	}, 0)
+}
+
+// nonFiniteIn names the first non-finite value found in the iteration's
+// merged losses, the translator parameters, or the embedding-row
+// sample; it returns "" when everything probed is finite.
+func (m *Model) nonFiniteIn(st *IterStats) string {
+	if !isFinite(st.SingleLoss) || !isFinite(st.CrossLoss) ||
+		!isFinite(st.Translation) || !isFinite(st.Reconstruction) {
+		return "iteration loss"
+	}
+	for vi, l := range st.ViewLoss {
+		if !isFinite(l) {
+			return fmt.Sprintf("single-view loss of view %d", vi)
+		}
+	}
+	for pi, l := range st.PairLoss {
+		if !isFinite(l) {
+			return fmt.Sprintf("cross-view loss of pair %d", pi)
+		}
+	}
+	for pi, pair := range m.trans {
+		for side, tr := range pair {
+			if tr == nil {
+				continue
+			}
+			if err := tr.CheckFinite(); err != nil {
+				return fmt.Sprintf("translator parameter (pair %d side %d)", pi, side)
+			}
+		}
+	}
+	for vi, e := range m.emb {
+		if e == nil {
+			continue
+		}
+		stride := e.In.R / probeRows
+		if stride < 1 {
+			stride = 1
+		}
+		for r := 0; r < e.In.R; r += stride {
+			if finiteSlice(e.In.Row(r)) >= 0 {
+				return fmt.Sprintf("embedding row (view %d, local node %d)", vi, r)
+			}
+		}
+	}
+	return ""
+}
+
+// NonFinite reports whether the iteration guard observed a non-finite
+// loss, translator parameter or sampled embedding value during
+// training. It can lag reality by up to one iteration (the guard runs
+// at iteration boundaries) and, for embeddings, samples rather than
+// sweeps — CheckFinite is the exhaustive check.
+func (m *Model) NonFinite() bool { return m.nonFinite }
+
+// CheckFinite sweeps every view-specific embedding row and every
+// translator parameter and returns a descriptive error on the first
+// non-finite value, or nil when the whole model is finite. It is a full
+// scan — O(nodes × dim) per view — meant for the end of training
+// (`transn train` fails on it) and for diagnostics, not for the
+// training loop.
+func (m *Model) CheckFinite() error {
+	for vi, e := range m.emb {
+		if e == nil {
+			continue
+		}
+		for r := 0; r < e.In.R; r++ {
+			if c := finiteSlice(e.In.Row(r)); c >= 0 {
+				return fmt.Errorf("transn: non-finite embedding: view %d, local node %d, dimension %d (%v)",
+					vi, r, c, e.In.At(r, c))
+			}
+		}
+	}
+	for pi, pair := range m.trans {
+		for side, tr := range pair {
+			if tr == nil {
+				continue
+			}
+			if err := tr.CheckFinite(); err != nil {
+				return fmt.Errorf("transn: pair %d side %d: %w", pi, side, err)
+			}
+		}
+	}
+	return nil
+}
+
+// CheckFinite returns an error naming the first non-finite translator
+// parameter, or nil when all parameters are finite.
+func (t *Translator) CheckFinite() error {
+	check := func(kind string, ms []*mat.Dense) error {
+		for i, m := range ms {
+			if idx := finiteSlice(m.Data); idx >= 0 {
+				return fmt.Errorf("non-finite translator parameter %s[%d] element %d (%v)",
+					kind, i, idx, m.Data[idx])
+			}
+		}
+		return nil
+	}
+	if err := check("W", t.Ws); err != nil {
+		return err
+	}
+	return check("B", t.Bs)
+}

@@ -1,0 +1,188 @@
+package transn
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+
+	"transn/internal/obs"
+)
+
+// TestCheckFiniteCleanModel: a normal training run is finite end to end
+// and the iteration guard stays quiet.
+func TestCheckFiniteCleanModel(t *testing.T) {
+	g := socialGraph(t, 8, 4, 1)
+	cfg := DefaultConfig()
+	cfg.Dim = 12
+	cfg.WalkLength = 8
+	cfg.MinWalksPerNode = 2
+	cfg.MaxWalksPerNode = 4
+	cfg.Iterations = 2
+	cfg.CrossPathsPerPair = 10
+	cfg.Workers = 1
+	var diags []obs.TrainEvent
+	cfg.Observer = func(ev obs.TrainEvent) {
+		if ev.Stage == obs.StageDiagnostic {
+			diags = append(diags, ev)
+		}
+	}
+	m, err := Train(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CheckFinite(); err != nil {
+		t.Fatalf("clean model failed CheckFinite: %v", err)
+	}
+	if m.NonFinite() {
+		t.Fatal("clean model flagged non-finite")
+	}
+	if len(diags) != 0 {
+		t.Fatalf("clean run emitted %d diagnostic events: %+v", len(diags), diags)
+	}
+}
+
+// TestGuardDetectsInjectedNaN corrupts one embedding row mid-training
+// (from the serialized Observer callback, i.e. at a stage boundary) and
+// checks the guard notices at the next iteration boundary: exactly one
+// StageDiagnostic warning, NonFinite latched, CheckFinite naming the
+// view.
+func TestGuardDetectsInjectedNaN(t *testing.T) {
+	g := socialGraph(t, 8, 4, 1)
+	cfg := DefaultConfig()
+	cfg.Dim = 12
+	cfg.WalkLength = 8
+	cfg.MinWalksPerNode = 2
+	cfg.MaxWalksPerNode = 4
+	cfg.Iterations = 3
+	cfg.CrossPathsPerPair = 10
+	cfg.Workers = 1
+
+	var model *Model
+	cfg.ModelReady = func(m *Model) { model = m }
+	var diags []obs.TrainEvent
+	injected := false
+	cfg.Observer = func(ev obs.TrainEvent) {
+		if ev.Stage == obs.StageDiagnostic {
+			diags = append(diags, ev)
+			return
+		}
+		// Poison view 0 after the first iteration closes; the guard for
+		// that iteration has not run yet, so detection must land on this
+		// or a later iteration's boundary — never crash training.
+		if !injected && ev.Stage == obs.StageIteration && ev.Epoch == 0 {
+			injected = true
+			model.ViewTable(0).Set(0, 0, math.NaN())
+		}
+	}
+	m, err := Train(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.NonFinite() {
+		t.Fatal("guard did not latch NonFinite after NaN injection")
+	}
+	if len(diags) != 1 {
+		t.Fatalf("want exactly 1 diagnostic event, got %d: %+v", len(diags), diags)
+	}
+	if diags[0].Level != obs.LevelWarning || !strings.Contains(diags[0].Message, "non-finite") {
+		t.Fatalf("unexpected diagnostic event: %+v", diags[0])
+	}
+	err = m.CheckFinite()
+	if err == nil {
+		t.Fatal("CheckFinite passed a NaN-corrupted model")
+	}
+	if !strings.Contains(err.Error(), "view 0") {
+		t.Fatalf("CheckFinite error does not name the corrupted view: %v", err)
+	}
+}
+
+// TestTranslatorCheckFinite covers the translator parameter sweep.
+func TestTranslatorCheckFinite(t *testing.T) {
+	g := socialGraph(t, 8, 4, 1)
+	cfg := DefaultConfig()
+	cfg.Dim = 12
+	cfg.WalkLength = 8
+	cfg.MinWalksPerNode = 2
+	cfg.MaxWalksPerNode = 4
+	cfg.Iterations = 1
+	cfg.CrossPathsPerPair = 5
+	cfg.Workers = 1
+	m, err := Train(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.ViewPairs()) == 0 {
+		t.Fatal("test graph produced no view pairs")
+	}
+	tr := m.Translators(0)[0]
+	if err := tr.CheckFinite(); err != nil {
+		t.Fatalf("clean translator failed CheckFinite: %v", err)
+	}
+	tr.Ws[0].Set(0, 0, math.Inf(1))
+	if err := tr.CheckFinite(); err == nil {
+		t.Fatal("translator CheckFinite passed an Inf parameter")
+	}
+	if err := m.CheckFinite(); err == nil {
+		t.Fatal("model CheckFinite passed an Inf translator parameter")
+	}
+}
+
+// TestReportConcurrentWithTraining exercises Model.Report and
+// FinalLosses from a second goroutine while Train is appending history
+// and the Observer stream is live — the scenario of a diagnostics
+// endpoint polling mid-run. Run under -race this pins the
+// synchronization contract of ModelReady + Report/FinalLosses.
+func TestReportConcurrentWithTraining(t *testing.T) {
+	g := socialGraph(t, 10, 5, 2)
+	cfg := DefaultConfig()
+	cfg.Dim = 12
+	cfg.WalkLength = 8
+	cfg.MinWalksPerNode = 2
+	cfg.MaxWalksPerNode = 4
+	cfg.Iterations = 4
+	cfg.CrossPathsPerPair = 10
+	cfg.Workers = 2
+	cfg.Telemetry = obs.NewRun()
+
+	ready := make(chan *Model, 1)
+	cfg.ModelReady = func(m *Model) { ready <- m }
+	events := 0
+	cfg.Observer = func(ev obs.TrainEvent) { events++ }
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		m := <-ready
+		polls := 0
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			rep := m.Report()
+			if rep.Schema != obs.ReportSchema {
+				t.Errorf("live report schema = %q", rep.Schema)
+				return
+			}
+			m.FinalLosses()
+			polls++
+		}
+	}()
+
+	m, err := Train(g, cfg)
+	close(done)
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if events == 0 {
+		t.Fatal("observer saw no events")
+	}
+	if vl, _ := m.FinalLosses(); len(vl) == 0 {
+		t.Fatal("no final losses after training")
+	}
+}

@@ -73,8 +73,16 @@ type Model struct {
 	tel   telemetry
 	obsMu sync.Mutex
 
-	// History records per-iteration mean losses for diagnostics.
+	// nonFinite latches once the iteration guard (finite.go) sees a
+	// NaN/Inf loss, translator parameter or sampled embedding value.
+	nonFinite bool
+
+	// History records per-iteration mean losses for diagnostics. histMu
+	// guards the appends against concurrent Report/FinalLosses readers
+	// (e.g. a live diagnostics endpoint polling mid-training); read the
+	// field directly only after Train has returned.
 	History []IterStats
+	histMu  sync.Mutex
 }
 
 // IterStats captures one Algorithm 1 iteration's diagnostics.
@@ -99,6 +107,8 @@ type IterStats struct {
 // convergence without digging through History. Both slices are nil when
 // the model has not trained (e.g. loaded via Load).
 func (m *Model) FinalLosses() (viewLoss, pairLoss []float64) {
+	m.histMu.Lock()
+	defer m.histMu.Unlock()
 	if len(m.History) == 0 {
 		return nil, nil
 	}
@@ -202,6 +212,9 @@ func Train(g *graph.Graph, cfg Config) (*Model, error) {
 	if !cfg.NoCrossView {
 		m.initPairs()
 	}
+	if cfg.ModelReady != nil {
+		cfg.ModelReady(m)
+	}
 	for iter := 0; iter < cfg.Iterations; iter++ {
 		frac := float64(iter) / float64(cfg.Iterations)
 		lrS := cfg.LRSingle * (1 - frac)
@@ -261,7 +274,9 @@ func Train(g *graph.Graph, cfg Config) (*Model, error) {
 			st.Translation = tsum / np
 			st.Reconstruction = rsum / np
 		}
+		m.histMu.Lock()
 		m.History = append(m.History, st)
+		m.histMu.Unlock()
 		m.tel.lossSingle.Set(st.SingleLoss)
 		m.tel.lossCross.Set(st.CrossLoss)
 		m.tel.lossTrans.Set(st.Translation)
@@ -272,6 +287,10 @@ func Train(g *graph.Graph, cfg Config) (*Model, error) {
 			LTranslation: st.Translation, LReconstruction: st.Reconstruction,
 			Examples: iterPairs,
 		}, iterSpan.End())
+		// Shard-merge boundary: every shard's updates are visible, the
+		// iteration's losses are merged — the cheap place to notice the
+		// run has gone non-finite (see finite.go).
+		m.guardIteration(&st)
 	}
 	trainSpan.End()
 	return m, nil
@@ -283,8 +302,12 @@ func Train(g *graph.Graph, cfg Config) (*Model, error) {
 // from the model — final per-view L_single, final per-pair L_cross and
 // the per-iteration loss curve. cmd/transn writes this as the -report
 // file and cmd/benchrun embeds the same shape.
+// Report is safe to call while Train is still running (History access
+// is synchronized) — the live diagnostics endpoint does exactly that.
 func (m *Model) Report() *obs.Report {
 	rep := m.Cfg.Telemetry.Report("train")
+	m.histMu.Lock()
+	defer m.histMu.Unlock()
 	if len(m.History) == 0 {
 		return rep
 	}
@@ -459,6 +482,18 @@ func (m *Model) ViewEmbedding(vi int, id graph.NodeID) []float64 {
 		return nil
 	}
 	return m.emb[vi].In.Row(l)
+}
+
+// ViewTable returns view vi's raw view-specific embedding table (one
+// row per view-local node), or nil for empty views. The returned matrix
+// is the live training table, not a copy: internal/diag reads it to
+// compute norm distributions and collapse checks, and tests write to it
+// to inject corruption — never mutate it while Train is running.
+func (m *Model) ViewTable(vi int) *mat.Dense {
+	if m.emb[vi] == nil {
+		return nil
+	}
+	return m.emb[vi].In
 }
 
 // Views returns the model's views (one per edge type).

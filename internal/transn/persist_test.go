@@ -83,7 +83,7 @@ func TestLoadRejectsGarbage(t *testing.T) {
 // field would silently vanish from saved models — this test turns that
 // into a failure.
 func TestPersistConfigRoundTrip(t *testing.T) {
-	skip := map[string]bool{"Observer": true, "Telemetry": true}
+	skip := map[string]bool{"Observer": true, "Telemetry": true, "ModelReady": true}
 	ct := reflect.TypeOf(Config{})
 	pt := reflect.TypeOf(persistedConfig{})
 	for i := 0; i < ct.NumField(); i++ {

@@ -1,0 +1,118 @@
+package walk
+
+import (
+	"math"
+	"testing"
+
+	"transn/internal/graph"
+	"transn/internal/rngstream"
+)
+
+// statsTestView builds a 4-node path graph a-b-c-d with weights 1, 4, 1
+// in a single view.
+func statsTestView(t *testing.T) *graph.View {
+	t.Helper()
+	b := graph.NewBuilder()
+	nt := b.NodeType("x")
+	et := b.EdgeType("e")
+	a := b.AddNode(nt, "a")
+	bb := b.AddNode(nt, "b")
+	c := b.AddNode(nt, "c")
+	d := b.AddNode(nt, "d")
+	b.AddEdge(a, bb, et, 1)
+	b.AddEdge(bb, c, et, 4)
+	b.AddEdge(c, d, et, 1)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	views := g.Views()
+	if len(views) != 1 {
+		t.Fatalf("want 1 view, got %d", len(views))
+	}
+	return views[0]
+}
+
+func TestStatsHandBuiltCorpus(t *testing.T) {
+	v := statsTestView(t)
+	la, lb, lc := 0, 1, 2
+	// Two paths: a->b->c (weights 1, 4) and b->a (weight 1).
+	paths := [][]int{{la, lb, lc}, {lb, la}}
+	st := Stats(v, paths)
+	if st.Paths != 2 || st.Steps != 3 {
+		t.Fatalf("paths/steps = %d/%d, want 2/3", st.Paths, st.Steps)
+	}
+	if st.Visited != 3 {
+		t.Fatalf("visited = %d, want 3", st.Visited)
+	}
+	wantCounts := []int{2, 2, 1, 0}
+	for l, c := range wantCounts {
+		if st.VisitCounts[l] != c {
+			t.Fatalf("visit count of node %d = %d, want %d", l, st.VisitCounts[l], c)
+		}
+	}
+	// Realized: w(a,b)+w(b,c)+w(b,a) = 1+4+1 = 6.
+	if math.Abs(st.RealizedWeightSum-6) > 1e-12 {
+		t.Fatalf("realized weight sum = %g, want 6", st.RealizedWeightSum)
+	}
+	// Uniform baselines: from a mean=1, from b mean=(1+4)/2=2.5, from b again 2.5.
+	if math.Abs(st.UniformWeightSum-6) > 1e-12 {
+		t.Fatalf("uniform weight sum = %g, want 6", st.UniformWeightSum)
+	}
+}
+
+// TestStatsBiasedWalkFavorsHeavyEdges checks the realized/uniform ratio
+// exceeds 1 for the π₁-biased walker on a weight-skewed star, and is
+// exactly 1 when every edge weight is equal (no bias to express).
+func TestStatsBiasedWalkFavorsHeavyEdges(t *testing.T) {
+	b := graph.NewBuilder()
+	nt := b.NodeType("x")
+	et := b.EdgeType("e")
+	hub := b.AddNode(nt, "hub")
+	for i := 0; i < 6; i++ {
+		leaf := b.AddNode(nt, string(rune('a'+i)))
+		w := 1.0
+		if i == 0 {
+			w = 50 // one dominant spoke
+		}
+		b.AddEdge(hub, leaf, et, w)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := g.Views()[0]
+	walker := NewBiased(v)
+	cfg := CorpusConfig{WalkLength: 10, MinWalksPerNode: 4, MaxWalksPerNode: 8}
+	paths := Corpus(v, walker, cfg, rngstream.New(7))
+	st := Stats(v, paths)
+	if st.Steps == 0 {
+		t.Fatal("no steps taken")
+	}
+	ratio := st.RealizedWeightSum / st.UniformWeightSum
+	if ratio <= 1.05 {
+		t.Fatalf("biased walk realized/uniform ratio = %.3f, want > 1.05", ratio)
+	}
+
+	// Uniform-weight graph: ratio must be exactly 1 regardless of walker.
+	b2 := graph.NewBuilder()
+	nt2 := b2.NodeType("x")
+	et2 := b2.EdgeType("e")
+	n0 := b2.AddNode(nt2, "0")
+	n1 := b2.AddNode(nt2, "1")
+	n2 := b2.AddNode(nt2, "2")
+	b2.AddEdge(n0, n1, et2, 2)
+	b2.AddEdge(n1, n2, et2, 2)
+	b2.AddEdge(n2, n0, et2, 2)
+	g2, err := b2.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2 := g2.Views()[0]
+	paths2 := Corpus(v2, NewBiased(v2), cfg, rngstream.New(7))
+	st2 := Stats(v2, paths2)
+	if math.Abs(st2.RealizedWeightSum/st2.UniformWeightSum-1) > 1e-12 {
+		t.Fatalf("uniform-weight ratio = %g, want exactly 1",
+			st2.RealizedWeightSum/st2.UniformWeightSum)
+	}
+}
