@@ -49,6 +49,7 @@ import (
 	"transn/internal/dataset"
 	"transn/internal/diag"
 	"transn/internal/graph"
+	"transn/internal/lint"
 	"transn/internal/mat"
 	"transn/internal/obs"
 	"transn/internal/transn"
@@ -115,7 +116,7 @@ func usage() {
   diagnose    -input net.tsv -model model.gob [-output diag.json]
               [-summary] [-events ev.jsonl] [-no-corpus] [-corpus-seed 1]
               [-coverage-warn 0.95] [-workers 0]
-  checkreport -report rep.json (telemetry or diagnostics document)`)
+  checkreport -report rep.json (telemetry, diagnostics or lint document)`)
 }
 
 func loadGraph(path string) (*graph.Graph, error) {
@@ -251,13 +252,13 @@ func cmdTrain(args []string) error {
 }
 
 // cmdCheckReport validates a telemetry report written by `train
-// -report` / `benchrun -report`, or a diagnostics document written by
-// `diagnose -output`, against its schema — the file's own schema field
-// picks the validator. CI's smoke jobs run this on the artifacts they
-// upload.
+// -report` / `benchrun -report`, a diagnostics document written by
+// `diagnose -output`, or a lint document written by `transnlint -json`,
+// against its schema — the file's own schema field picks the validator.
+// CI's smoke jobs run this on the artifacts they upload.
 func cmdCheckReport(args []string) error {
 	fs := flag.NewFlagSet("checkreport", flag.ExitOnError)
-	report := fs.String("report", "", "telemetry report or diagnostics JSON to validate (required)")
+	report := fs.String("report", "", "telemetry report, diagnostics or lint JSON to validate (required)")
 	fs.Parse(args)
 	if *report == "" {
 		return fmt.Errorf("checkreport: -report is required")
@@ -275,6 +276,13 @@ func cmdCheckReport(args []string) error {
 			return fmt.Errorf("checkreport: %s: %w", *report, err)
 		}
 		fmt.Printf("%s: valid %s document\n", *report, diag.Schema)
+		return nil
+	}
+	if peek.Schema == lint.Schema {
+		if err := lint.Validate(data); err != nil {
+			return fmt.Errorf("checkreport: %s: %w", *report, err)
+		}
+		fmt.Printf("%s: valid %s document\n", *report, lint.Schema)
 		return nil
 	}
 	if err := obs.ValidateReport(data); err != nil {

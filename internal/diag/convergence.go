@@ -116,7 +116,7 @@ func (mn *Monitor) Observe(ev obs.TrainEvent) {
 			sev = SeverityWarning
 		}
 		mn.findings = append(mn.findings, Finding{
-			Severity: sev, Code: "trainer." + string(obs.StageDiagnostic),
+			Severity: sev, Code: CodeTrainerDiagnostic,
 			View: ev.View, Pair: ev.Pair, Message: ev.Message,
 		})
 	case obs.StageIteration:

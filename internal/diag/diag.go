@@ -69,6 +69,12 @@ const (
 	CodeLossNonFinite       = "convergence.nonfinite"
 	CodeLossDiverged        = "convergence.diverged"
 	CodeLossPlateau         = "convergence.plateau"
+	// CodeTrainerDiagnostic relays a trainer-synthesized StageDiagnostic
+	// event (e.g. the non-finite guard) into the document. It was
+	// previously built as "trainer." + string(obs.StageDiagnostic) at
+	// the emit site — exactly the stringly-typed drift the
+	// schema-registry lint analyzer now forbids.
+	CodeTrainerDiagnostic = "trainer.diagnostic"
 )
 
 // Finding is one named verdict about the inspected artifacts. View and

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"transn/internal/mat"
+	"transn/internal/ordered"
 )
 
 // KMeans clusters the rows of X into k clusters with Lloyd's algorithm
@@ -149,8 +150,15 @@ func NMI(a, b []int) float64 {
 	}
 	fn := float64(n)
 	var mi float64
-	for key, nij := range joint {
-		pij := nij / fn
+	// Accumulate in sorted key order so the float sum is deterministic.
+	keys := ordered.KeysFunc(joint, func(x, y [2]int) bool {
+		if x[0] != y[0] {
+			return x[0] < y[0]
+		}
+		return x[1] < y[1]
+	})
+	for _, key := range keys {
+		pij := joint[key] / fn
 		pa := ca[key[0]] / fn
 		pb := cb[key[1]] / fn
 		mi += pij * math.Log(pij/(pa*pb))
@@ -165,8 +173,8 @@ func NMI(a, b []int) float64 {
 
 func entropy(counts map[int]float64, n float64) float64 {
 	var h float64
-	for _, c := range counts {
-		p := c / n
+	for _, k := range ordered.Keys(counts) {
+		p := counts[k] / n
 		h -= p * math.Log(p)
 	}
 	return h

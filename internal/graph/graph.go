@@ -7,7 +7,8 @@ package graph
 
 import (
 	"fmt"
-	"sort"
+
+	"transn/internal/ordered"
 )
 
 // NodeID identifies a node within a Graph. IDs are dense: 0..NumNodes-1.
@@ -300,11 +301,7 @@ func (g *Graph) ComputeStats() Stats {
 // SortedTypeCounts returns map entries as sorted "name=count" pairs, a
 // stable form for printing and tests.
 func SortedTypeCounts(m map[string]int) []string {
-	keys := make([]string, 0, len(m))
-	for k := range m {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
+	keys := ordered.Keys(m)
 	out := make([]string, len(keys))
 	for i, k := range keys {
 		out[i] = fmt.Sprintf("%s=%d", k, m[k])

@@ -2,7 +2,8 @@ package graph
 
 import (
 	"fmt"
-	"sort"
+
+	"transn/internal/ordered"
 )
 
 // View is a subnetwork φ_i = {V_i, E_i} induced by one edge type
@@ -32,11 +33,7 @@ func buildView(g *Graph, t EdgeType, edges []Edge) *View {
 		types[g.Nodes[e.V].Type] = true
 	}
 	v.Hetero = len(types) == 2
-	v.NodeIDs = make([]NodeID, 0, len(inView))
-	for id := range inView {
-		v.NodeIDs = append(v.NodeIDs, id)
-	}
-	sort.Slice(v.NodeIDs, func(i, j int) bool { return v.NodeIDs[i] < v.NodeIDs[j] })
+	v.NodeIDs = ordered.Keys(inView)
 	for i, id := range v.NodeIDs {
 		v.local[id] = i
 	}
@@ -158,12 +155,11 @@ func PairedSubview(view *View, common []NodeID) *View {
 // view edges whose both endpoints are kept.
 func inducedSubview(view *View, keep map[NodeID]bool) *View {
 	sub := &View{Type: view.Type, Hetero: view.Hetero, local: map[NodeID]int{}}
-	for id := range keep {
+	for _, id := range ordered.Keys(keep) {
 		if view.Contains(id) {
 			sub.NodeIDs = append(sub.NodeIDs, id)
 		}
 	}
-	sort.Slice(sub.NodeIDs, func(i, j int) bool { return sub.NodeIDs[i] < sub.NodeIDs[j] })
 	for i, id := range sub.NodeIDs {
 		sub.local[id] = i
 	}

@@ -1,0 +1,142 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// FuncNode is one module function in the lightweight call graph built
+// for the reachability analyzers. Only static calls are resolved
+// (direct calls and concrete method calls); a call through a function
+// value or interface method is recorded as Dynamic, which the norace
+// analyzer treats as an escape — it cannot prove what runs there.
+type FuncNode struct {
+	Fn   *types.Func
+	Decl *ast.FuncDecl
+	Pkg  *Package
+
+	// Callees are the statically resolved module-internal callees.
+	Callees []*types.Func
+	// StdCallees are statically resolved non-module callees (stdlib),
+	// kept as objects so analyzers can match on package paths.
+	StdCallees []*types.Func
+	// Dynamic marks a call whose target cannot be resolved statically.
+	Dynamic bool
+	// TouchesSync marks any use of sync or sync/atomic in the body
+	// (mutex methods, atomic types/functions) — the instrumented
+	// shared-state signature norace containment keys on.
+	TouchesSync bool
+}
+
+// CallGraph indexes every function declaration in the module.
+type CallGraph struct {
+	nodes map[*types.Func]*FuncNode
+}
+
+// Node returns the graph node for fn, or nil for functions without a
+// body in the module (stdlib, interface methods).
+func (g *CallGraph) Node(fn *types.Func) *FuncNode { return g.nodes[fn] }
+
+// BuildCallGraph walks every function body in the module once and
+// resolves its static callees through the type-checker's Uses map.
+func BuildCallGraph(m *Module) *CallGraph {
+	g := &CallGraph{nodes: map[*types.Func]*FuncNode{}}
+	for _, pkg := range m.Pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				node := &FuncNode{Fn: fn, Decl: fd, Pkg: pkg}
+				g.nodes[fn] = node
+				collectCalls(pkg, m.Path, fd.Body, node)
+			}
+		}
+	}
+	return g
+}
+
+func collectCalls(pkg *Package, modPath string, body ast.Node, node *FuncNode) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.Ident:
+			if obj := pkg.Info.Uses[n]; obj != nil && obj.Pkg() != nil {
+				if p := obj.Pkg().Path(); p == "sync" || p == "sync/atomic" {
+					node.TouchesSync = true
+				}
+			}
+		case *ast.CallExpr:
+			callee := calleeOf(pkg, n)
+			if callee == nil {
+				if !isConversionOrBuiltin(pkg, n) {
+					node.Dynamic = true
+				}
+				return true
+			}
+			if callee.Pkg() != nil && isModulePath(callee.Pkg().Path(), modPath) {
+				node.Callees = append(node.Callees, callee)
+			} else {
+				node.StdCallees = append(node.StdCallees, callee)
+			}
+		case *ast.GoStmt:
+			// A goroutine launched from a norace region is an escape by
+			// construction; model it as a dynamic call.
+			node.Dynamic = true
+		}
+		return true
+	})
+}
+
+// calleeOf resolves a call expression to a *types.Func when the target
+// is a declared function or concrete method; nil otherwise. Explicit
+// generic instantiations (f[T](x)) are unwrapped to the function name.
+func calleeOf(pkg *Package, call *ast.CallExpr) *types.Func {
+	target := ast.Unparen(call.Fun)
+	switch idx := target.(type) {
+	case *ast.IndexExpr:
+		target = ast.Unparen(idx.X)
+	case *ast.IndexListExpr:
+		target = ast.Unparen(idx.X)
+	}
+	switch fun := target.(type) {
+	case *ast.Ident:
+		if fn, ok := pkg.Info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		// Interface method calls resolve to the interface's *types.Func;
+		// treat them as unresolved (dynamic) since any implementation
+		// may run.
+		if sel, ok := pkg.Info.Selections[fun]; ok && sel.Kind() == types.MethodVal {
+			if fn, ok := sel.Obj().(*types.Func); ok {
+				if types.IsInterface(sel.Recv()) {
+					return nil
+				}
+				return fn
+			}
+		}
+		if fn, ok := pkg.Info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// isConversionOrBuiltin reports whether the call expression is a type
+// conversion or a builtin (len, append, make, ...), neither of which is
+// a dynamic call.
+func isConversionOrBuiltin(pkg *Package, call *ast.CallExpr) bool {
+	if tv, ok := pkg.Info.Types[call.Fun]; ok && (tv.IsType() || tv.IsBuiltin()) {
+		return true
+	}
+	return false
+}
+
+func isModulePath(path, modPath string) bool {
+	return path == modPath || len(path) > len(modPath) && path[:len(modPath)] == modPath && path[len(modPath)] == '/'
+}

@@ -1,0 +1,154 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+)
+
+// analyzerFinite enforces the non-finite hygiene contract of DESIGN.md
+// §8: in the weight-owning packages (transn, skipgram), float
+// arithmetic written into a slice element — the shape of every
+// embedding/translator update — must be covered by the finite.go guard
+// (the function itself calls a guard helper, or is declared in the
+// guard file) or carry a //lint:finite-checked annotation naming who
+// checks its output. A NaN written unguarded corrupts every later
+// iteration silently; the guard turns that into a named finding at the
+// next iteration boundary, but only for writes it knows about.
+//
+// The analyzer cannot tell a weight table from a scratch slice, so the
+// annotation is the sanctioned statement "these writes are probed by
+// guardIteration / swept by CheckFinite" — and the audit is that every
+// new float-writing function must make that statement explicitly.
+func analyzerFinite() *Analyzer {
+	return &Analyzer{
+		Name: "finite-hygiene",
+		Run: func(m *Module, opts Options, report func(Finding)) {
+			guardFuncs := map[string]bool{}
+			for _, g := range opts.GuardFuncs {
+				guardFuncs[g] = true
+			}
+			guardFiles := map[string]bool{}
+			for _, g := range opts.GuardFiles {
+				guardFiles[g] = true
+			}
+			for _, pkg := range m.Pkgs {
+				if !inScope(pkg, opts.FinitePkgs) {
+					continue
+				}
+				for _, f := range pkg.Files {
+					if guardFiles[filepath.Base(pkg.Filenames[f])] {
+						continue // the guard itself
+					}
+					for _, decl := range f.Decls {
+						fd, ok := decl.(*ast.FuncDecl)
+						if !ok || fd.Body == nil {
+							continue
+						}
+						if hasAnnotation(m, fd, "finite-checked") {
+							continue
+						}
+						if callsGuard(pkg, fd.Body, guardFuncs) {
+							continue
+						}
+						checkFiniteWrites(m, pkg, fd, report)
+					}
+				}
+			}
+		},
+	}
+}
+
+func hasAnnotation(m *Module, fd *ast.FuncDecl, name string) bool {
+	for _, a := range m.Annotations[fd] {
+		if a == name {
+			return true
+		}
+	}
+	return false
+}
+
+// callsGuard reports whether the body calls one of the finite-guard
+// helpers — the "flows through the guard" exemption.
+func callsGuard(pkg *Package, body *ast.BlockStmt, guards map[string]bool) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && !found {
+			if fn := calleeOf(pkg, call); fn != nil && guards[fn.Name()] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// checkFiniteWrites reports float arithmetic written into slice
+// elements: compound assignments (x[i] += e) always, and plain
+// assignments (x[i] = e) when the right-hand side computes (contains an
+// arithmetic binary expression). Plain element copies (x[i] = y[j])
+// preserve finiteness and pass.
+func checkFiniteWrites(m *Module, pkg *Package, fd *ast.FuncDecl, report func(Finding)) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		switch assign.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+			for _, lhs := range assign.Lhs {
+				if isFloatSliceElem(pkg, lhs) {
+					report(m.finding(CodeFiniteUnguarded, assign,
+						"%s writes float math into a slice element without the finite guard; call a finite.go helper or annotate the function //lint:finite-checked <who checks>", fd.Name.Name))
+					return true
+				}
+			}
+		case token.ASSIGN:
+			if len(assign.Lhs) != len(assign.Rhs) {
+				return true
+			}
+			for i, lhs := range assign.Lhs {
+				if isFloatSliceElem(pkg, lhs) && containsArithmetic(assign.Rhs[i]) {
+					report(m.finding(CodeFiniteUnguarded, assign,
+						"%s writes float math into a slice element without the finite guard; call a finite.go helper or annotate the function //lint:finite-checked <who checks>", fd.Name.Name))
+					return true
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isFloatSliceElem reports whether expr is x[i] with a float element
+// type on an indexable (slice/array) base.
+func isFloatSliceElem(pkg *Package, expr ast.Expr) bool {
+	idx, ok := ast.Unparen(expr).(*ast.IndexExpr)
+	if !ok {
+		return false
+	}
+	base, ok := pkg.Info.Types[idx.X]
+	if !ok || base.Type == nil {
+		return false
+	}
+	switch base.Type.Underlying().(type) {
+	case *types.Slice, *types.Array, *types.Pointer:
+	default:
+		return false
+	}
+	return isFloatExpr(pkg, expr)
+}
+
+func containsArithmetic(expr ast.Expr) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if b, ok := n.(*ast.BinaryExpr); ok {
+			switch b.Op {
+			case token.ADD, token.SUB, token.MUL, token.QUO:
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,138 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// analyzerNorace enforces the Hogwild containment contract of DESIGN.md
+// §6: the //go:norace race-detector exemption may appear only on the
+// allowlisted leaf packages, must pair with //go:noinline (inlining
+// into an instrumented caller would silently widen the exemption), and
+// the static call graph from a norace function must never reach
+// instrumented shared state — the obs registry/tracer, any sync or
+// sync/atomic user, or a call that cannot be resolved statically
+// (function values, interface methods, goroutines). The pragma is a
+// scalpel; this analyzer keeps it from becoming a blanket.
+func analyzerNorace() *Analyzer {
+	return &Analyzer{
+		Name: "norace-containment",
+		Run: func(m *Module, opts Options, report func(Finding)) {
+			graph := BuildCallGraph(m)
+			for _, pkg := range m.Pkgs {
+				for _, f := range pkg.Files {
+					checkNoraceFile(m, graph, pkg, f, opts, report)
+				}
+			}
+		},
+	}
+}
+
+func checkNoraceFile(m *Module, graph *CallGraph, pkg *Package, f *ast.File, opts Options, report func(Finding)) {
+	// Pragma comments that belong to a function's doc group are
+	// accounted for through the declaration; any other //go:norace in
+	// the file is a stray that the compiler may or may not honor —
+	// either way it is outside the audited set.
+	attached := map[*ast.Comment]bool{}
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Doc == nil {
+			continue
+		}
+		var norace, noinline *ast.Comment
+		for _, c := range fd.Doc.List {
+			attachedPragma := false
+			switch strings.TrimSpace(c.Text) {
+			case "//go:norace":
+				norace, attachedPragma = c, true
+			case "//go:noinline":
+				noinline, attachedPragma = c, true
+			}
+			if attachedPragma {
+				attached[c] = true
+			}
+		}
+		if norace == nil {
+			continue
+		}
+		if !inScope(pkg, opts.NoracePkgs) {
+			report(m.finding(CodeNoraceAllowlist, norace,
+				"//go:norace on %s.%s: package %s is not in the Hogwild leaf allowlist (%s)",
+				pkg.Name, fd.Name.Name, pkg.Path, strings.Join(opts.NoracePkgs, ", ")))
+		}
+		if noinline == nil {
+			report(m.finding(CodeNoraceNoinline, norace,
+				"//go:norace on %s.%s without //go:noinline: an instrumented caller could inline the body and widen the exemption",
+				pkg.Name, fd.Name.Name))
+		}
+		if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+			checkNoraceEscape(m, graph, fn, fd, opts, report)
+		}
+	}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if strings.TrimSpace(c.Text) == "//go:norace" && !attached[c] {
+				report(m.finding(CodeNoraceAllowlist, c,
+					"stray //go:norace not attached to a function declaration"))
+			}
+		}
+	}
+}
+
+// checkNoraceEscape walks the static call graph from the norace
+// function and reports the first path to instrumented shared state.
+func checkNoraceEscape(m *Module, graph *CallGraph, root *types.Func, decl *ast.FuncDecl, opts Options, report func(Finding)) {
+	type item struct {
+		fn   *types.Func
+		path string
+	}
+	seen := map[*types.Func]bool{root: true}
+	queue := []item{{root, root.Name()}}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		node := graph.Node(cur.fn)
+		if node == nil {
+			continue // no body in the module (stdlib? shouldn't happen)
+		}
+		if violation := noraceViolation(node, opts); violation != "" {
+			report(m.finding(CodeNoraceEscape, decl.Name,
+				"//go:norace %s reaches instrumented shared state: %s (%s)",
+				root.Name(), cur.path, violation))
+			return
+		}
+		for _, callee := range node.Callees {
+			if seen[callee] {
+				continue
+			}
+			seen[callee] = true
+			queue = append(queue, item{callee, cur.path + " -> " + callee.Name()})
+		}
+	}
+}
+
+// noraceViolation names why a function reached from a norace leaf
+// breaks containment, or returns "" when it is clean.
+func noraceViolation(node *FuncNode, opts Options) string {
+	if node.TouchesSync {
+		return fmt.Sprintf("%s uses sync/atomic", node.Fn.Name())
+	}
+	for _, p := range opts.ForbiddenPkgs {
+		if node.Pkg.Path == p {
+			return fmt.Sprintf("%s lives in forbidden package %s", node.Fn.Name(), p)
+		}
+	}
+	if node.Dynamic {
+		return fmt.Sprintf("%s makes a dynamic call (function value, interface method, or goroutine) that cannot be proven race-exempt", node.Fn.Name())
+	}
+	for _, std := range node.StdCallees {
+		if std.Pkg() != nil {
+			if p := std.Pkg().Path(); p == "sync" || p == "sync/atomic" {
+				return fmt.Sprintf("%s calls %s.%s", node.Fn.Name(), p, std.Name())
+			}
+		}
+	}
+	return ""
+}

@@ -1,0 +1,216 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+
+	"transn/internal/ordered"
+)
+
+// schemaSets are the declared schema-identifier constant sets harvested
+// from the obs and diag packages: tooling matches on these strings, so
+// any value used at a schema-sensitive site must be one of them.
+type schemaSets struct {
+	obsPath, diagPath string
+
+	metrics set // obs Metric* constants: registry metric names
+	spans   set // obs Span* constants (+ stage values): tracer span names
+	stages  set // obs Stage-typed constants: TrainEvent stages
+	levels  set // obs Level* constants: TrainEvent diagnostic levels
+	codes   set // diag Code* constants: finding codes
+}
+
+type set map[string]bool
+
+func (s set) sorted() string {
+	return strings.Join(ordered.Keys(s), ", ")
+}
+
+// analyzerSchema enforces schema-registry consistency (DESIGN.md §7–8):
+// the metric names handed to the obs registry, the span names handed to
+// the tracer, the stages/levels placed in TrainEvents, and the codes
+// placed in diag Findings are all part of published schemas
+// (transn.telemetry.report/v1, transn.diagnostics/v1). Each must be a
+// member of the declared constant set — a raw literal that drifts from
+// the set ships a silent consumer-breaking rename. Dynamic (non-
+// constant) names are allowed: benchrun's experiment-named spans and
+// free-form Metrics paths are documented features.
+func analyzerSchema() *Analyzer {
+	return &Analyzer{
+		Name: "schema-registry",
+		Run: func(m *Module, opts Options, report func(Finding)) {
+			sets := collectSchemaSets(m, opts)
+			if sets == nil {
+				return // tree has no obs/diag packages to check against
+			}
+			for _, pkg := range m.Pkgs {
+				for _, f := range pkg.Files {
+					ast.Inspect(f, func(n ast.Node) bool {
+						switch n := n.(type) {
+						case *ast.CallExpr:
+							checkSchemaCall(m, pkg, n, sets, report)
+						case *ast.CompositeLit:
+							checkSchemaComposite(m, pkg, n, sets, report)
+						case *ast.IndexExpr:
+							checkSchemaIndex(m, pkg, n, sets, report)
+						}
+						return true
+					})
+				}
+			}
+		},
+	}
+}
+
+func collectSchemaSets(m *Module, opts Options) *schemaSets {
+	obs := m.Lookup(opts.SchemaObsPkg)
+	diag := m.Lookup(opts.SchemaDiagPkg)
+	if obs == nil && diag == nil {
+		return nil
+	}
+	sets := &schemaSets{
+		obsPath: opts.SchemaObsPkg, diagPath: opts.SchemaDiagPkg,
+		metrics: set{}, spans: set{}, stages: set{}, levels: set{}, codes: set{},
+	}
+	harvest := func(pkg *Package, prefix string, dst set, typeName string) {
+		if pkg == nil || pkg.Types == nil {
+			return
+		}
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			c, ok := scope.Lookup(name).(*types.Const)
+			if !ok || c.Val().Kind() != constant.String {
+				continue
+			}
+			if typeName != "" {
+				named, ok := c.Type().(*types.Named)
+				if !ok || named.Obj().Name() != typeName {
+					continue
+				}
+			} else if !strings.HasPrefix(name, prefix) {
+				continue
+			}
+			dst[constant.StringVal(c.Val())] = true
+		}
+	}
+	harvest(obs, "Metric", sets.metrics, "")
+	harvest(obs, "Span", sets.spans, "")
+	harvest(obs, "", sets.stages, "Stage")
+	harvest(obs, "Level", sets.levels, "")
+	harvest(diag, "Code", sets.codes, "")
+	// Every stage string is also a valid span name: the tracer times
+	// the same Algorithm 1 phases the event stream labels.
+	for v := range sets.stages {
+		sets.spans[v] = true
+	}
+	return sets
+}
+
+// constString returns the expression's compile-time string value, if it
+// has one (literals, constants, and constant expressions alike).
+func constString(pkg *Package, expr ast.Expr) (string, bool) {
+	tv, ok := pkg.Info.Types[expr]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// namedIn reports whether t (after deref) is the named type pkgPath.name.
+func namedIn(t types.Type, pkgPath, name string) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+// checkSchemaCall validates constant names at Registry.Counter/Gauge/
+// Histogram and Tracer.Start call sites.
+func checkSchemaCall(m *Module, pkg *Package, call *ast.CallExpr, sets *schemaSets, report func(Finding)) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || len(call.Args) == 0 {
+		return
+	}
+	selection, ok := pkg.Info.Selections[sel]
+	if !ok || selection.Kind() != types.MethodVal {
+		return
+	}
+	recv := selection.Recv()
+	method := sel.Sel.Name
+	switch {
+	case namedIn(recv, sets.obsPath, "Registry") && (method == "Counter" || method == "Gauge" || method == "Histogram"):
+		if name, ok := constString(pkg, call.Args[0]); ok && !sets.metrics[name] {
+			report(m.finding(CodeSchemaMetric, call.Args[0],
+				"metric name %q is not a declared Metric* constant (known: %s); registering it here is stringly-typed schema drift", name, sets.metrics.sorted()))
+		}
+	case namedIn(recv, sets.obsPath, "Tracer") && method == "Start":
+		if name, ok := constString(pkg, call.Args[0]); ok && !sets.spans[name] {
+			report(m.finding(CodeSchemaSpan, call.Args[0],
+				"span name %q is not a declared Span* constant or Stage value (known: %s)", name, sets.spans.sorted()))
+		}
+	}
+}
+
+// checkSchemaComposite validates constant Stage/Level fields of
+// obs.TrainEvent literals and Code fields of diag.Finding literals.
+func checkSchemaComposite(m *Module, pkg *Package, lit *ast.CompositeLit, sets *schemaSets, report func(Finding)) {
+	tv, ok := pkg.Info.Types[lit]
+	if !ok || tv.Type == nil {
+		return
+	}
+	check := func(field, code string, allowed set, kind string) {
+		for _, elt := range lit.Elts {
+			kv, ok := elt.(*ast.KeyValueExpr)
+			if !ok {
+				continue
+			}
+			key, ok := kv.Key.(*ast.Ident)
+			if !ok || key.Name != field {
+				continue
+			}
+			if v, ok := constString(pkg, kv.Value); ok && v != "" && !allowed[v] {
+				report(m.finding(code, kv.Value,
+					"%s %q is not in the declared constant set (known: %s)", kind, v, allowed.sorted()))
+			}
+		}
+	}
+	switch {
+	case namedIn(tv.Type, sets.obsPath, "TrainEvent"):
+		check("Stage", CodeSchemaStage, sets.stages, "event stage")
+		check("Level", CodeSchemaLevel, sets.levels, "event level")
+	case namedIn(tv.Type, sets.diagPath, "Finding"):
+		check("Code", CodeSchemaFindingCode, sets.codes, "finding code")
+	}
+}
+
+// checkSchemaIndex validates constant keys used to index the report's
+// Counters/Gauges/Histograms maps — the read side of the metric schema.
+func checkSchemaIndex(m *Module, pkg *Package, idx *ast.IndexExpr, sets *schemaSets, report func(Finding)) {
+	sel, ok := ast.Unparen(idx.X).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	switch sel.Sel.Name {
+	case "Counters", "Gauges", "Histograms":
+	default:
+		return
+	}
+	base, ok := pkg.Info.Types[sel.X]
+	if !ok || base.Type == nil {
+		return
+	}
+	if !namedIn(base.Type, sets.obsPath, "Report") && !namedIn(base.Type, sets.obsPath, "Snapshot") {
+		return
+	}
+	if name, ok := constString(pkg, idx.Index); ok && !sets.metrics[name] {
+		report(m.finding(CodeSchemaMetric, idx.Index,
+			"metric key %q is not a declared Metric* constant (known: %s)", name, sets.metrics.sorted()))
+	}
+}

@@ -1,0 +1,67 @@
+// Package core is the fixture's deterministic-core package: global
+// math/rand draws, wall-clock seeds and order-sensitive map iteration
+// are findings here.
+package core
+
+import (
+	"math/rand"
+	"time"
+)
+
+// globalDraw consumes the process-global math/rand source.
+func globalDraw() float64 {
+	return rand.Float64() // want determinism.global-rand
+}
+
+// clockSeed converts the wall clock to an integer — the canonical
+// irreproducible-seed recipe.
+func clockSeed() int64 {
+	return time.Now().UnixNano() // want determinism.time-seed
+}
+
+// clockStream seeds a stream straight from the clock.
+func clockStream() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want determinism.time-seed
+}
+
+// collect leaks map iteration order through append.
+func collect(m map[string]int) []string {
+	var out []string
+	for k := range m { // want determinism.map-order
+		out = append(out, k)
+	}
+	return out
+}
+
+// total accumulates floats in map iteration order.
+func total(m map[string]float64) float64 {
+	var s float64
+	for _, v := range m { // want determinism.map-order
+		s += v
+	}
+	return s
+}
+
+// count is order-insensitive: no finding.
+func count(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// seeded threads an explicit configured seed: no finding.
+func seeded(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+func use(m map[string]float64) {
+	_ = globalDraw()
+	_ = clockSeed()
+	_ = clockStream()
+	_ = collect(nil)
+	_ = total(m)
+	_ = count(nil)
+	_ = seeded(1)
+}

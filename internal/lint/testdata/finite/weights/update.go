@@ -1,0 +1,46 @@
+// Package weights is the fixture's weight-owning package: float math
+// written into slice elements must flow through the finite.go guard or
+// carry a //lint:finite-checked annotation.
+package weights
+
+// unguarded writes float math into a row with no guard in sight.
+func unguarded(row []float64, g float64) {
+	for i := range row {
+		row[i] -= g * row[i] // want finite.unguarded
+	}
+}
+
+// guarded performs the same update but sweeps the row with the guard.
+func guarded(row []float64, g float64) {
+	for i := range row {
+		row[i] -= g * row[i]
+	}
+	if !checkFinite(row) {
+		panic("weights: non-finite row")
+	}
+}
+
+// annotated is exempt because it names who checks its output.
+//
+//lint:finite-checked the caller sweeps the row after every batch
+func annotated(row []float64, g float64) {
+	for i := range row {
+		row[i] *= g
+	}
+}
+
+// copyRow is a plain element copy: it preserves finiteness and needs no
+// guard.
+func copyRow(dst, src []float64) {
+	for i := range dst {
+		dst[i] = src[i]
+	}
+}
+
+func use() {
+	r := []float64{1, 2}
+	unguarded(r, 0.5)
+	guarded(r, 0.5)
+	annotated(r, 0.5)
+	copyRow(r, r)
+}

@@ -1,0 +1,72 @@
+// Package leaf is the fixture's allowlisted Hogwild-leaf package: the
+// one place //go:norace pragmas are allowed, provided they pair with
+// //go:noinline and their call graph stays free of instrumented state.
+package leaf
+
+import (
+	"sync"
+
+	"fixture/obsstub"
+)
+
+// ok is a clean leaf: allowlisted package, paired pragmas, pure body.
+//
+//go:norace
+//go:noinline
+func ok(in, out []float64, lr float64) {
+	for i := range in {
+		out[i] = lr * in[i]
+	}
+}
+
+// missingNoinline omits the paired pragma, so an instrumented caller
+// could inline the body and widen the race exemption.
+//
+// want-next norace.noinline
+//
+//go:norace
+func missingNoinline(xs []float64) {
+	for i := range xs {
+		xs[i] = 0
+	}
+}
+
+var mu sync.Mutex
+
+// locks reaches a sync.Mutex through its callee.
+//
+//go:norace
+//go:noinline
+func locks(xs []float64) { // want norace.escape
+	bump(xs)
+}
+
+func bump(xs []float64) {
+	mu.Lock()
+	xs[0] = 1
+	mu.Unlock()
+}
+
+// reports reaches the forbidden instrumented package.
+//
+//go:norace
+//go:noinline
+func reports(xs []float64) { // want norace.escape
+	obsstub.Bump()
+	xs[0] = 1
+}
+
+// dynamic calls a function value, which cannot be proven race-exempt.
+//
+//go:norace
+//go:noinline
+func dynamic(f func()) { // want norace.escape
+	f()
+}
+
+func stray() int {
+	// want-next norace.allowlist
+	//go:norace
+	n := 0
+	return n
+}

@@ -1,0 +1,15 @@
+// Package rogue is outside the Hogwild-leaf allowlist, so any
+// //go:norace here is a finding regardless of how clean the body is.
+package rogue
+
+// hot is race-exempt in a package that is not allowed to be.
+//
+// want-next norace.allowlist
+//
+//go:norace
+//go:noinline
+func hot(xs []float64) {
+	for i := range xs {
+		xs[i] = 0
+	}
+}

@@ -1,0 +1,11 @@
+// Package diag is the fixture's diagnostics stub declaring the finding
+// code constant set.
+package diag
+
+// CodeGood is the only declared finding code in the fixture.
+const CodeGood = "embedding.ok"
+
+// Finding is one diagnostics verdict.
+type Finding struct {
+	Code string
+}

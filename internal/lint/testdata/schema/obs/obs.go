@@ -1,0 +1,40 @@
+// Package obs is the fixture's telemetry stub: it declares the
+// metric/span/stage/level constant sets and the types whose call sites
+// the schema-registry analyzer validates.
+package obs
+
+// Stage labels one phase of the training loop.
+type Stage string
+
+// StageWalk is the only declared stage in the fixture.
+const StageWalk Stage = "walk"
+
+// Declared schema constants.
+const (
+	MetricPairs = "skipgram.pairs"
+	SpanTrain   = "train"
+	LevelWarn   = "warning"
+)
+
+// Registry hands out metric handles by declared name.
+type Registry struct{}
+
+// Counter returns a counter handle for the named metric.
+func (r *Registry) Counter(name string) *int64 { return new(int64) }
+
+// Tracer times named spans.
+type Tracer struct{}
+
+// Start opens the named span.
+func (t *Tracer) Start(name string) int { return 0 }
+
+// TrainEvent is one training progress event.
+type TrainEvent struct {
+	Stage Stage
+	Level string
+}
+
+// Report is the schema-stable run report.
+type Report struct {
+	Counters map[string]int64
+}

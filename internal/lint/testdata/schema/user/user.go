@@ -1,0 +1,27 @@
+// Package user exercises every schema-sensitive site: declared
+// constants pass, drifting literals are findings, dynamic names are
+// exempt.
+package user
+
+import (
+	"fixture/diag"
+	"fixture/obs"
+)
+
+func use(r *obs.Registry, t *obs.Tracer, rep obs.Report, dynamic string) {
+	_ = r.Counter(obs.MetricPairs)
+	_ = r.Counter("skipgram.pairz") // want schema.metric-name
+	_ = t.Start(obs.SpanTrain)
+	_ = t.Start(string(obs.StageWalk))
+	_ = t.Start("tarin") // want schema.span-name
+	_ = t.Start(dynamic)
+	_ = rep.Counters[obs.MetricPairs]
+	_ = rep.Counters["walk.pathz"] // want schema.metric-name
+	_ = obs.TrainEvent{Stage: obs.StageWalk, Level: obs.LevelWarn}
+	_ = obs.TrainEvent{
+		Stage: "wark",    // want schema.event-stage
+		Level: "wanring", // want schema.event-level
+	}
+	_ = diag.Finding{Code: diag.CodeGood}
+	_ = diag.Finding{Code: "embedding.bad"} // want schema.finding-code
+}

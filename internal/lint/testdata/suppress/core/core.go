@@ -1,0 +1,38 @@
+// Package core proves the suppression machinery: a reasoned
+// //lint:ignore silences its finding, a stale one is itself a finding,
+// and malformed directives are reported.
+package core
+
+// sorted iterates a map into a slice, which the determinism analyzer
+// flags — but the suppression right above the loop vouches that the
+// caller sorts, so no finding survives.
+func sorted(m map[string]int) []string {
+	var out []string
+	//lint:ignore determinism.map-order the caller sorts the keys before use
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func stale() int {
+	// want-next lint.unused-suppression
+	//lint:ignore determinism.map-order suppresses nothing on this line
+	return 0
+}
+
+func missingReason(m map[string]int) []string {
+	var out []string
+	// want-next lint.bad-directive
+	//lint:ignore determinism.map-order
+	for k := range m { // want determinism.map-order
+		out = append(out, k)
+	}
+	return out
+}
+
+func unknownVerb() int {
+	// want-next lint.bad-directive
+	//lint:frobnicate whatever this is
+	return 0
+}

@@ -1,0 +1,43 @@
+package obs
+
+// Declared metric names. The registry accepts any string, but every
+// name that ships in the transn.telemetry.report/v1 counters/gauges/
+// histograms sections must be one of these constants — transnlint's
+// schema-registry analyzer flags constant names outside this set, so a
+// renamed or misspelled metric is a lint finding instead of a silent
+// consumer break. (benchrun's free-form Metrics *result* paths are a
+// separate, documented free-form namespace.)
+const (
+	// MetricWalkPaths counts walk-corpus paths generated.
+	MetricWalkPaths = "walk.paths"
+	// MetricSkipgramPairs counts (center, context) skip-gram training
+	// pairs — the examples/sec throughput unit.
+	MetricSkipgramPairs = "skipgram.pairs"
+	// MetricCrossSegments counts common-node segments consumed by
+	// cross-view pair steps.
+	MetricCrossSegments = "cross.segments"
+	// MetricCrossSegmentLoss is the per-segment cross-view loss
+	// histogram.
+	MetricCrossSegmentLoss = "cross.segment_loss"
+	// MetricLossSingle/Cross/Translation/Reconstruction are the most
+	// recent iteration-mean loss gauges (Eq. 3, Eqs. 11–14).
+	MetricLossSingle         = "loss.single"
+	MetricLossCross          = "loss.cross"
+	MetricLossTranslation    = "loss.translation"
+	MetricLossReconstruction = "loss.reconstruction"
+)
+
+// Declared span names. Tracer.Start sites with a constant name must use
+// one of these (or a Stage value — every Algorithm 1 stage is also a
+// span name); dynamic names (benchrun's per-experiment spans) are
+// exempt by construction.
+const (
+	// SpanTrain covers a whole Train call.
+	SpanTrain = "train"
+	// SpanWalk / SpanSkipGram / SpanCrossPair / SpanIteration alias the
+	// stage strings so tracing and event code share one vocabulary.
+	SpanWalk      = string(StageWalk)
+	SpanSkipGram  = string(StageSkipGram)
+	SpanCrossPair = string(StageCrossPair)
+	SpanIteration = string(StageIteration)
+)

@@ -15,9 +15,10 @@
 package obs
 
 import (
-	"sort"
 	"sync"
 	"time"
+
+	"transn/internal/ordered"
 )
 
 // Run collects one training (or benchmark) run's telemetry: a metrics
@@ -99,7 +100,8 @@ func (r *Run) WorkerSummaries() []WorkerSummary {
 	r.wmu.Lock()
 	defer r.wmu.Unlock()
 	out := make([]WorkerSummary, 0, len(r.workers))
-	for w, agg := range r.workers {
+	for _, w := range ordered.Keys(r.workers) {
+		agg := r.workers[w]
 		out = append(out, WorkerSummary{
 			Worker:      w,
 			BusySeconds: agg.busy.Seconds(),
@@ -107,7 +109,6 @@ func (r *Run) WorkerSummaries() []WorkerSummary {
 			Shards:      agg.shards,
 		})
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Worker < out[j].Worker })
 	return out
 }
 

@@ -155,7 +155,7 @@ func (r *Run) Report(name string) *Report {
 		rep.Histograms = snap.Histograms
 	}
 	rep.Workers = r.WorkerSummaries()
-	if pairs, ok := rep.Counters["skipgram.pairs"]; ok && rep.WallSeconds > 0 {
+	if pairs, ok := rep.Counters[MetricSkipgramPairs]; ok && rep.WallSeconds > 0 {
 		rep.ExamplesPerSec = float64(pairs) / rep.WallSeconds
 	}
 	return rep

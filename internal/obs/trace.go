@@ -4,6 +4,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"transn/internal/ordered"
 )
 
 // Span is one completed timed region: a stage of Algorithm 1 (a walk
@@ -141,8 +143,8 @@ func (t *Tracer) Stages() []StageSummary {
 		}
 	}
 	out := make([]StageSummary, 0, len(byName))
-	for _, s := range byName {
-		out = append(out, *s)
+	for _, name := range ordered.Keys(byName) {
+		out = append(out, *byName[name])
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].TotalSeconds != out[j].TotalSeconds {

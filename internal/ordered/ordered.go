@@ -1,0 +1,35 @@
+// Package ordered provides deterministic iteration over maps. Go
+// randomizes map range order on every run, so any loop whose output
+// order or float accumulation order matters must not range the map
+// directly — transnlint's determinism.map-order analyzer flags those.
+// Iterating Keys(m) is the sanctioned escape hatch: same elements,
+// stable order, one small sorted-slice allocation.
+package ordered
+
+import (
+	"cmp"
+	"sort"
+)
+
+// Keys returns m's keys sorted ascending.
+func Keys[K cmp.Ordered, V any](m map[K]V) []K {
+	keys := make([]K, 0, len(m))
+	//lint:ignore determinism.map-order keys are sorted before they are returned
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return cmp.Less(keys[i], keys[j]) })
+	return keys
+}
+
+// KeysFunc returns m's keys sorted by less, for key types that are not
+// cmp.Ordered (structs, arrays).
+func KeysFunc[K comparable, V any](m map[K]V, less func(a, b K) bool) []K {
+	keys := make([]K, 0, len(m))
+	//lint:ignore determinism.map-order keys are sorted before they are returned
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return less(keys[i], keys[j]) })
+	return keys
+}

@@ -1,0 +1,40 @@
+package ordered
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestKeysSorted(t *testing.T) {
+	m := map[string]int{"b": 1, "a": 2, "c": 3}
+	if got, want := Keys(m), []string{"a", "b", "c"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("Keys = %v, want %v", got, want)
+	}
+	ints := map[int32]bool{5: true, -1: true, 3: true}
+	if got, want := Keys(ints), []int32{-1, 3, 5}; !reflect.DeepEqual(got, want) {
+		t.Errorf("Keys = %v, want %v", got, want)
+	}
+}
+
+func TestKeysEmpty(t *testing.T) {
+	if got := Keys(map[string]int{}); len(got) != 0 {
+		t.Errorf("Keys of empty map = %v", got)
+	}
+	if got := Keys[string, int](nil); len(got) != 0 {
+		t.Errorf("Keys of nil map = %v", got)
+	}
+}
+
+func TestKeysFunc(t *testing.T) {
+	m := map[[2]int]float64{{2, 1}: 0, {1, 9}: 0, {1, 2}: 0}
+	got := KeysFunc(m, func(a, b [2]int) bool {
+		if a[0] != b[0] {
+			return a[0] < b[0]
+		}
+		return a[1] < b[1]
+	})
+	want := [][2]int{{1, 2}, {1, 9}, {2, 1}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("KeysFunc = %v, want %v", got, want)
+	}
+}

@@ -110,6 +110,8 @@ func (h *HSoftmax) CodeLen(n int) int { return len(h.codes[n]) }
 
 // TrainPair applies one hierarchical-softmax update for (center, context)
 // on model m and returns the loss. Only m.In and h.Vec are touched.
+//
+//lint:finite-checked sigmoid/log are clamped here and the trainer's per-iteration guard (transn/finite.go) sweeps losses and sampled rows
 func (h *HSoftmax) TrainPair(m *Model, center, context int, lr float64) float64 {
 	in := m.In.Row(center)
 	dim := len(in)

@@ -132,6 +132,7 @@ func (m *Model) TrainPair(center, context, neg int, lr float64, s *NegSampler, r
 // the return value are goroutine-local; only in (read) and out
 // (read/write) are shared. See the Hogwild contract on TrainPair.
 //
+//lint:finite-checked pair losses roll up into the iteration mean swept by the trainer's guard (transn/finite.go)
 //go:norace
 //go:noinline
 func hogwildPairUpdate(in, out, grad []float64, label, lr float64) float64 {
@@ -157,6 +158,7 @@ func hogwildPairUpdate(in, out, grad []float64, label, lr float64) float64 {
 // applyRowGrad subtracts the accumulated center gradient from the shared
 // input row. See the Hogwild contract on TrainPair.
 //
+//lint:finite-checked the written rows are sampled by the trainer's per-iteration guard (transn/finite.go)
 //go:norace
 //go:noinline
 func applyRowGrad(in, grad []float64) {

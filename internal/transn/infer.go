@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"transn/internal/graph"
+	"transn/internal/ordered"
 )
 
 // NeighborEdge describes one edge of a node that was not part of the
@@ -23,6 +24,8 @@ type NeighborEdge struct {
 // estimates, mirroring Embeddings. This matches the skip-gram geometry:
 // a node co-occurs on walks with its neighbors, so its embedding
 // gravitates to their (weighted) barycenter.
+//
+//lint:finite-checked inputs are validated positive weights and trained (guarded) embedding rows; the averages cannot introduce non-finite values
 func (m *Model) InferNode(edges []NeighborEdge) ([]float64, error) {
 	if len(edges) == 0 {
 		return nil, fmt.Errorf("transn: cannot infer a node with no edges")
@@ -41,7 +44,9 @@ func (m *Model) InferNode(edges []NeighborEdge) ([]float64, error) {
 		byView[e.Type] = append(byView[e.Type], e)
 	}
 	viewVec := make([]float64, m.Cfg.Dim)
-	for et, es := range byView {
+	// Sorted view order keeps the float accumulation deterministic.
+	for _, et := range ordered.Keys(byView) {
+		es := byView[et]
 		v := m.views[et]
 		if m.emb[et] == nil {
 			continue

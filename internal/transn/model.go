@@ -138,15 +138,15 @@ func newTelemetry(run *obs.Run) telemetry {
 	if run == nil {
 		return t
 	}
-	t.walkPaths = run.Reg.Counter("walk.paths")
-	t.sgPairs = run.Reg.Counter("skipgram.pairs")
-	t.crossSegs = run.Reg.Counter("cross.segments")
-	t.segLoss = run.Reg.Histogram("cross.segment_loss",
+	t.walkPaths = run.Reg.Counter(obs.MetricWalkPaths)
+	t.sgPairs = run.Reg.Counter(obs.MetricSkipgramPairs)
+	t.crossSegs = run.Reg.Counter(obs.MetricCrossSegments)
+	t.segLoss = run.Reg.Histogram(obs.MetricCrossSegmentLoss,
 		[]float64{0.125, 0.25, 0.5, 1, 2, 4, 8, 16})
-	t.lossSingle = run.Reg.Gauge("loss.single")
-	t.lossCross = run.Reg.Gauge("loss.cross")
-	t.lossTrans = run.Reg.Gauge("loss.translation")
-	t.lossRecon = run.Reg.Gauge("loss.reconstruction")
+	t.lossSingle = run.Reg.Gauge(obs.MetricLossSingle)
+	t.lossCross = run.Reg.Gauge(obs.MetricLossCross)
+	t.lossTrans = run.Reg.Gauge(obs.MetricLossTranslation)
+	t.lossRecon = run.Reg.Gauge(obs.MetricLossReconstruction)
 	return t
 }
 
@@ -207,7 +207,7 @@ func Train(g *graph.Graph, cfg Config) (*Model, error) {
 	if len(m.views) == 0 {
 		return nil, fmt.Errorf("transn: graph has no edge types, nothing to train")
 	}
-	trainSpan := m.tel.trace().Start("train")
+	trainSpan := m.tel.trace().Start(obs.SpanTrain)
 	m.initViews()
 	if !cfg.NoCrossView {
 		m.initPairs()
@@ -221,7 +221,7 @@ func Train(g *graph.Graph, cfg Config) (*Model, error) {
 		if lrS < cfg.LRSingle*1e-4 {
 			lrS = cfg.LRSingle * 1e-4
 		}
-		iterSpan := m.tel.trace().Start("iteration").Epoch(iter)
+		iterSpan := m.tel.trace().Start(obs.SpanIteration).Epoch(iter)
 		var st IterStats
 		st.Iteration = iter
 		st.ViewLoss = make([]float64, len(m.views))
@@ -400,7 +400,7 @@ func (m *Model) singleViewStep(vi, iter int, lr float64) (float64, int) {
 	}
 	walkSeed := rngstream.Derive(m.Cfg.Seed, streamWalk, int64(vi), int64(iter))
 	trainSeed := rngstream.Derive(m.Cfg.Seed, streamTrain, int64(vi), int64(iter))
-	walkSpan := m.tel.trace().Start("walk").View(vi).Epoch(iter)
+	walkSpan := m.tel.trace().Start(obs.SpanWalk).View(vi).Epoch(iter)
 	var paths [][]int
 	if m.Cfg.SimpleWalk {
 		// Ablation: uniformly random starting nodes, weights ignored.
@@ -428,7 +428,7 @@ func (m *Model) singleViewStep(vi, iter int, lr float64) (float64, int) {
 	}, walkSpan.End())
 
 	offsets := skipgram.ContextOffsets(v.Hetero)
-	sgSpan := m.tel.trace().Start("skipgram").View(vi).Epoch(iter)
+	sgSpan := m.tel.trace().Start(obs.SpanSkipGram).View(vi).Epoch(iter)
 	loss, pairs, sst := m.emb[vi].TrainCorpusParallelStats(paths, offsets, m.Cfg.NegativeSamples, lr,
 		m.samplers[vi], trainSeed, m.Cfg.Workers, m.Cfg.DeterministicApply)
 	m.tel.recordPool(sst)
@@ -443,6 +443,8 @@ func (m *Model) singleViewStep(vi, iter int, lr float64) (float64, int) {
 // Embeddings returns the final node embeddings: one row per global node,
 // each the average of the node's view-specific embeddings (Section
 // III-C). Nodes absent from every view get a zero row.
+//
+//lint:finite-checked averages view embeddings that trained under the per-iteration guard (finite.go); no new float math beyond the mean
 func (m *Model) Embeddings() *mat.Dense {
 	out := mat.New(m.Graph.NumNodes(), m.Cfg.Dim)
 	counts := make([]int, m.Graph.NumNodes())
