@@ -1,8 +1,9 @@
 // Command transnlint runs the repo's custom static analyzers
 // (internal/lint) over the whole module and reports findings with
 // stable codes: norace containment, determinism (global rand, wall-
-// clock seeds, map iteration order), finite-write hygiene, and
-// schema-registry consistency. See DESIGN.md §9.
+// clock seeds, map iteration order), finite-write hygiene,
+// schema-registry consistency, and doc coverage of the exported API
+// surface (doccheck). See DESIGN.md §9.
 //
 // Usage:
 //

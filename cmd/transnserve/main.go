@@ -1,0 +1,85 @@
+// Command transnserve is the embedding-serving daemon: it loads a graph
+// TSV plus a trained model gob (written by `transn train -model`) and
+// serves final/per-view/translated/k-NN/inferred embeddings over HTTP
+// until stopped. SIGHUP (or POST /admin/reload) hot-reloads the
+// snapshot from the same paths without dropping a request; SIGINT and
+// SIGTERM drain gracefully. See API.md for the route reference.
+//
+// Usage:
+//
+//	transnserve -graph network.tsv -model model.gob [-addr :8080]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"transn/internal/serve"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "transnserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("transnserve", flag.ExitOnError)
+	graphPath := fs.String("graph", "", "network TSV the model was trained on (required)")
+	modelPath := fs.String("model", "", "trained model gob from `transn train -model` (required)")
+	addr := fs.String("addr", ":8080", "listen address (host:port; :0 picks a free port)")
+	cacheSize := fs.Int("cache", 0, "LRU capacity for computed vectors (0 = default 4096, negative disables)")
+	workers := fs.Int("translate-workers", 0, "max concurrent translator/inference computations (0 = default 4)")
+	timeout := fs.Duration("timeout", 0, "per-request deadline for /v1 endpoints (0 = default 10s)")
+	drain := fs.Duration("drain", 0, "max wait for in-flight requests on shutdown (0 = default 10s)")
+	maxK := fs.Int("maxk", 0, "cap on the k parameter of /v1/knn (0 = default 100)")
+	fs.Parse(args)
+	if *graphPath == "" || *modelPath == "" {
+		return fmt.Errorf("-graph and -model are required")
+	}
+
+	sv, err := serve.New(serve.Config{
+		GraphPath:        *graphPath,
+		ModelPath:        *modelPath,
+		CacheSize:        *cacheSize,
+		TranslateWorkers: *workers,
+		RequestTimeout:   *timeout,
+		DrainTimeout:     *drain,
+		MaxK:             *maxK,
+	})
+	if err != nil {
+		return err
+	}
+	bound, err := sv.Start(*addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "transnserve: serving generation %d on %s\n", sv.Generation(), bound)
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGHUP, syscall.SIGINT, syscall.SIGTERM)
+	for sig := range sigs {
+		switch sig {
+		case syscall.SIGHUP:
+			start := time.Now()
+			if err := sv.Reload(); err != nil {
+				// A failed reload keeps the previous snapshot live;
+				// report and keep serving.
+				fmt.Fprintf(os.Stderr, "transnserve: reload failed (still serving generation %d): %v\n",
+					sv.Generation(), err)
+				continue
+			}
+			fmt.Fprintf(os.Stderr, "transnserve: reloaded to generation %d in %s\n",
+				sv.Generation(), time.Since(start).Round(time.Millisecond))
+		default:
+			fmt.Fprintf(os.Stderr, "transnserve: %v received, draining\n", sig)
+			return sv.Shutdown()
+		}
+	}
+	return nil
+}

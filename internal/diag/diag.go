@@ -51,6 +51,7 @@ const Schema = "transn.diagnostics/v1"
 // and `transn diagnose` exit non-zero; warnings and infos are advisory.
 type Severity string
 
+// The three severity grades, in ascending order of consequence.
 const (
 	SeverityInfo    Severity = "info"
 	SeverityWarning Severity = "warning"

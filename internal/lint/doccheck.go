@@ -1,0 +1,144 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// analyzerDoccheck enforces the documentation contract on the public
+// API surface: every exported top-level symbol in every loaded package
+// (Load already excludes _test.go files) must carry a doc comment, and
+// every package must have a package comment. The rules follow the
+// repo's existing idiom:
+//
+//   - Exported functions, and exported methods on exported receiver
+//     types, need their own doc comment. Methods on unexported types
+//     are internal plumbing and exempt.
+//   - An exported type needs a doc comment on its spec, or on the
+//     declaration when it declares that one type.
+//   - An exported const or var is documented by its own doc comment or
+//     by a doc comment on its declaration group — matching the
+//     declared-constant blocks in internal/obs, where a group doc plus
+//     per-name doc comments document families like MetricLoss*.
+//     Trailing line comments do not count: they are not doc comments
+//     under the godoc convention.
+//
+// `//lint:ignore doc.missing reason` suppresses a finding where a bare
+// name is genuinely self-describing; like every suppression it is
+// audited, so a stale ignore becomes a finding itself.
+func analyzerDoccheck() *Analyzer {
+	return &Analyzer{
+		Name: "doccheck",
+		Run: func(m *Module, opts Options, report func(Finding)) {
+			for _, pkg := range m.Pkgs {
+				if !inScope(pkg, opts.DocPkgs) {
+					continue
+				}
+				hasPkgDoc := false
+				for _, f := range pkg.Files {
+					if hasDocText(f.Doc) {
+						hasPkgDoc = true
+						break
+					}
+				}
+				if !hasPkgDoc && len(pkg.Files) > 0 {
+					// pkg.Files follows os.ReadDir's sorted order, so
+					// the finding lands deterministically on the first
+					// file's package clause.
+					report(m.finding(CodeDocMissing, pkg.Files[0].Name,
+						"package %s has no package comment", pkg.Name))
+				}
+				for _, f := range pkg.Files {
+					for _, decl := range f.Decls {
+						checkDeclDocs(m, decl, report)
+					}
+				}
+			}
+		},
+	}
+}
+
+// checkDeclDocs reports undocumented exported symbols in one top-level
+// declaration.
+func checkDeclDocs(m *Module, decl ast.Decl, report func(Finding)) {
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if !d.Name.IsExported() {
+			return
+		}
+		if d.Recv != nil && !exportedReceiver(d.Recv) {
+			return
+		}
+		if !hasDocText(d.Doc) {
+			kind := "function"
+			if d.Recv != nil {
+				kind = "method"
+			}
+			report(m.finding(CodeDocMissing, d.Name,
+				"exported %s %s has no doc comment", kind, d.Name.Name))
+		}
+	case *ast.GenDecl:
+		switch d.Tok {
+		case token.TYPE:
+			for _, spec := range d.Specs {
+				ts := spec.(*ast.TypeSpec)
+				if !ts.Name.IsExported() {
+					continue
+				}
+				if !hasDocText(ts.Doc) && !(len(d.Specs) == 1 && hasDocText(d.Doc)) {
+					report(m.finding(CodeDocMissing, ts.Name,
+						"exported type %s has no doc comment", ts.Name.Name))
+				}
+			}
+		case token.CONST, token.VAR:
+			kind := "const"
+			if d.Tok == token.VAR {
+				kind = "var"
+			}
+			for _, spec := range d.Specs {
+				vs := spec.(*ast.ValueSpec)
+				if hasDocText(d.Doc) || hasDocText(vs.Doc) {
+					continue
+				}
+				for _, name := range vs.Names {
+					if name.IsExported() {
+						report(m.finding(CodeDocMissing, name,
+							"exported %s %s has no doc comment (own or declaration-group)", kind, name.Name))
+					}
+				}
+			}
+		}
+	}
+}
+
+// hasDocText reports whether a comment group contains actual prose.
+// CommentGroup.Text strips directive comments (//go:..., //lint:...),
+// so a bare //lint:ignore above a symbol suppresses the finding rather
+// than masquerading as its documentation.
+func hasDocText(cg *ast.CommentGroup) bool {
+	return cg != nil && strings.TrimSpace(cg.Text()) != ""
+}
+
+// exportedReceiver reports whether a method receiver's base type name
+// is exported, unwrapping pointers and type-parameter instantiations.
+func exportedReceiver(recv *ast.FieldList) bool {
+	if len(recv.List) == 0 {
+		return false
+	}
+	t := recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.IndexExpr:
+			t = x.X
+		case *ast.IndexListExpr:
+			t = x.X
+		case *ast.Ident:
+			return x.IsExported()
+		default:
+			return false
+		}
+	}
+}

@@ -377,6 +377,11 @@ type Options struct {
 	// metric/span/stage/level and finding-code constant sets.
 	SchemaObsPkg  string
 	SchemaDiagPkg string
+
+	// DocPkgs are the packages where undocumented exported symbols are
+	// findings. Empty means every loaded package (Load already excludes
+	// _test.go files, so tests are never in scope).
+	DocPkgs []string
 }
 
 // Defaults returns the options that describe this repository.
@@ -401,6 +406,7 @@ func Analyzers() []*Analyzer {
 		analyzerDeterminism(),
 		analyzerFinite(),
 		analyzerSchema(),
+		analyzerDoccheck(),
 	}
 }
 

@@ -137,6 +137,18 @@ func TestSchemaFixture(t *testing.T) {
 	}, []*Analyzer{analyzerSchema()})
 }
 
+// TestDoccheckFixture covers the documentation analyzer: undocumented
+// exported symbols and package clauses are findings, group docs cover
+// declared-constant blocks, directives do not masquerade as docs, and
+// a reasoned //lint:ignore doc.missing still works as the audited
+// escape hatch.
+func TestDoccheckFixture(t *testing.T) {
+	doc := testFixture(t, "doccheck", Options{}, []*Analyzer{analyzerDoccheck()})
+	if doc.Suppressions != 1 {
+		t.Errorf("Suppressions = %d, want 1 (the reasoned ignore on Suppressed)", doc.Suppressions)
+	}
+}
+
 // TestSuppressFixture is the negative fixture: a reasoned //lint:ignore
 // silences its finding (and counts in Document.Suppressions), a stale
 // one is a lint.unused-suppression finding, and malformed directives

@@ -18,6 +18,9 @@
 //   - schema-registry consistency (schema.go): metric names, span
 //     names, event stages/levels and finding codes are the declared
 //     constants, never drifting string literals.
+//   - doccheck (doccheck.go): every exported top-level symbol and every
+//     package carries a doc comment — the source-level half of the
+//     documented public API surface (API.md is the HTTP half).
 //
 // Findings carry stable codes and are reported as a schema-stable
 // transn.lint/v1 JSON document, mirroring the obs/diag report
@@ -90,6 +93,11 @@ const (
 	// declared Code* constant set.
 	CodeSchemaFindingCode = "schema.finding-code"
 
+	// CodeDocMissing: an exported top-level symbol (or a package clause)
+	// without a doc comment — the public API surface stays documented,
+	// API.md-style, at the source level.
+	CodeDocMissing = "doc.missing"
+
 	// CodeUnusedSuppression: a //lint:ignore comment that suppressed
 	// nothing — stale suppressions hide future regressions.
 	CodeUnusedSuppression = "lint.unused-suppression"
@@ -109,6 +117,8 @@ type Finding struct {
 	Message  string `json:"message"`
 }
 
+// String renders the finding in the file:line:col [code] message form
+// the CLI prints.
 func (f Finding) String() string {
 	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.File, f.Line, f.Col, f.Code, f.Message)
 }

@@ -39,7 +39,7 @@ func TestSelfCheck(t *testing.T) {
 	for _, a := range Analyzers() {
 		names = append(names, a.Name)
 	}
-	if got := strings.Join(names, ","); got != "norace-containment,determinism,finite-hygiene,schema-registry" {
+	if got := strings.Join(names, ","); got != "norace-containment,determinism,finite-hygiene,schema-registry,doccheck" {
 		t.Errorf("analyzer suite = %s; order and names are part of the report contract", got)
 	}
 }

@@ -1,0 +1,65 @@
+// Package api is the doccheck fixture's documented package: a package
+// comment plus a mix of documented and undocumented exported symbols.
+package api
+
+// Documented is an exported type with its own doc comment: no finding.
+type Documented struct{}
+
+// Describe is a documented exported method on an exported type.
+func (d *Documented) Describe() string { return "ok" }
+
+func (d *Documented) Bare() string { return "oops" } // want doc.missing
+
+type Naked struct{} // want doc.missing
+
+// grouped types need per-spec docs; the single-spec form may use the
+// declaration doc instead.
+type (
+	// Inner is documented at the spec: no finding.
+	Inner struct{}
+	Outer struct{} // want doc.missing
+)
+
+// Single-spec declaration doc covers the one type it declares.
+type Covered struct{}
+
+// Exported is a documented function: no finding.
+func Exported() {}
+
+func Undocumented() {} // want doc.missing
+
+// helper is unexported: never a finding.
+func helper() {}
+
+// methods on unexported receivers are plumbing, not API: no finding
+// even without a doc comment.
+type internalOnly struct{}
+
+func (internalOnly) Exported() {}
+
+// Declared constants: a group doc documents every name in the block.
+const (
+	GroupedA = "a"
+	GroupedB = "b"
+)
+
+const LonelyConst = 1 // want doc.missing
+
+var LonelyVar = 2 // want doc.missing
+
+// TrailedVar is covered by this single-spec declaration doc.
+var TrailedVar = 3
+
+var (
+	// DocdVar carries its own doc: no finding.
+	DocdVar = 4
+	BareVar = 5 // want doc.missing
+)
+
+// A directive alone is not documentation (CommentGroup.Text strips
+// it), but it IS a working suppression — the audited escape hatch.
+
+//lint:ignore doc.missing the fixture's sanctioned escape hatch in action
+var Suppressed = 6
+
+var _ = helper

@@ -1,0 +1,7 @@
+package nodoc // want doc.missing
+
+// Only the package clause is undocumented here; the one exported
+// symbol is fine.
+
+// Fine is documented.
+func Fine() {}

@@ -40,6 +40,17 @@ func (r *Run) ServeDebug(addr string, extra ...Route) (*http.Server, string, err
 	for _, rt := range extra {
 		mux.Handle(rt.Pattern, rt.Handler)
 	}
+	r.MountDebug(mux)
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = srv.Serve(ln) }()
+	return srv, ln.Addr().String(), nil
+}
+
+// MountDebug registers ServeDebug's built-in routes (/metrics,
+// /debug/vars, /debug/pprof/*) on an existing mux, for servers that own
+// their mux — transnserve mounts them next to its API routes instead of
+// running a second listener.
+func (r *Run) MountDebug(mux *http.ServeMux) {
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		_ = WriteReport(w, r.Report("live"))
@@ -50,7 +61,4 @@ func (r *Run) ServeDebug(addr string, extra ...Route) (*http.Server, string, err
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
-	go func() { _ = srv.Serve(ln) }()
-	return srv, ln.Addr().String(), nil
 }

@@ -25,6 +25,28 @@ const (
 	MetricLossCross          = "loss.cross"
 	MetricLossTranslation    = "loss.translation"
 	MetricLossReconstruction = "loss.reconstruction"
+
+	// MetricServeRequests counts HTTP requests the embedding server
+	// answered (every endpoint, every status).
+	MetricServeRequests = "serve.requests"
+	// MetricServeErrors counts requests answered with an error envelope
+	// (4xx/5xx).
+	MetricServeErrors = "serve.errors"
+	// MetricServeLatency is the per-request wall-time histogram
+	// (seconds) across every serving endpoint.
+	MetricServeLatency = "serve.latency_seconds"
+	// MetricServeCacheHits / MetricServeCacheMisses count lookups in the
+	// per-snapshot LRU of translated vectors and inference results.
+	MetricServeCacheHits   = "serve.cache_hits"
+	MetricServeCacheMisses = "serve.cache_misses"
+	// MetricServeSnapshotGen is the generation number of the snapshot
+	// currently serving traffic; it increments on every hot reload.
+	MetricServeSnapshotGen = "serve.snapshot_generation"
+	// MetricServeReloads counts successful snapshot hot reloads.
+	MetricServeReloads = "serve.reloads"
+	// MetricServeQueueDepth is the number of translation computations
+	// currently queued or running in the coalescing executor.
+	MetricServeQueueDepth = "serve.queue_depth"
 )
 
 // Declared span names. Tracer.Start sites with a constant name must use
@@ -40,4 +62,12 @@ const (
 	SpanSkipGram  = string(StageSkipGram)
 	SpanCrossPair = string(StageCrossPair)
 	SpanIteration = string(StageIteration)
+	// SpanServeReload covers one snapshot hot reload in the embedding
+	// server (load + validate + swap).
+	SpanServeReload = "serve.reload"
+	// SpanServeSelfcheck covers one /admin/selfcheck diagnostics run.
+	// Per-request timing deliberately goes to the serve.latency_seconds
+	// histogram instead of spans: the span log is append-only and sized
+	// for bounded training runs, not an unbounded request stream.
+	SpanServeSelfcheck = "serve.selfcheck"
 )

@@ -1,0 +1,75 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// lru is a mutex-guarded fixed-capacity least-recently-used cache of
+// computed vectors (cross-view translations, inferred embeddings).
+// Each snapshot owns one: a hot reload swaps the whole cache with the
+// snapshot, so stale vectors can never outlive the model that computed
+// them and no per-entry invalidation is needed.
+type lru struct {
+	mu    sync.Mutex
+	max   int
+	ll    *list.List // front = most recent
+	items map[string]*list.Element
+}
+
+// lruEntry is one cached key/vector pair.
+type lruEntry struct {
+	key string
+	val []float64
+}
+
+// newLRU builds a cache holding at most max vectors. max <= 0 disables
+// caching (every Get misses, Put is a no-op).
+func newLRU(max int) *lru {
+	return &lru{max: max, ll: list.New(), items: map[string]*list.Element{}}
+}
+
+// get returns the cached vector for key and whether it was present,
+// promoting the entry to most-recently-used. Callers must not mutate
+// the returned slice.
+func (c *lru) get(key string) ([]float64, bool) {
+	if c.max <= 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).val, true
+}
+
+// put stores val under key, evicting the least-recently-used entry when
+// the cache is full. The cache takes ownership of val.
+func (c *lru) put(key string, val []float64) {
+	if c.max <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*lruEntry).val = val
+		return
+	}
+	c.items[key] = c.ll.PushFront(&lruEntry{key: key, val: val})
+	if c.ll.Len() > c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*lruEntry).key)
+	}
+}
+
+// len reports the number of cached entries.
+func (c *lru) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -1,0 +1,74 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"transn/internal/obs"
+)
+
+// coalescer batches concurrent identical computations and bounds how
+// many distinct translator forward passes run at once. Identical
+// in-flight requests (same snapshot generation + endpoint + arguments)
+// share one execution — the duplicates block on the leader's result
+// instead of re-running the Eq. 8–10 stack — and distinct requests
+// queue on a semaphore so a traffic spike cannot run an unbounded
+// number of forward passes concurrently. True cross-request matrix
+// batching is deliberately NOT done: the translator's self-attention
+// mixes path rows, so packing different nodes into one path matrix
+// would change each node's result (see DESIGN.md §10).
+type coalescer struct {
+	mu       sync.Mutex
+	inflight map[string]*inflightCall
+	sem      chan struct{}
+
+	depth atomic.Int64
+	gauge *obs.Gauge // serve.queue_depth; nil-safe per obs contract
+}
+
+// inflightCall is one leader execution that duplicates wait on.
+type inflightCall struct {
+	done chan struct{}
+	val  []float64
+	err  error
+}
+
+// newCoalescer builds a coalescer running at most workers computations
+// concurrently. workers < 1 is clamped to 1.
+func newCoalescer(workers int, gauge *obs.Gauge) *coalescer {
+	if workers < 1 {
+		workers = 1
+	}
+	return &coalescer{
+		inflight: map[string]*inflightCall{},
+		sem:      make(chan struct{}, workers),
+		gauge:    gauge,
+	}
+}
+
+// do runs fn for key, deduplicating against identical in-flight calls
+// and respecting the concurrency bound. Every caller of the same key
+// receives the leader's (val, err); callers must not mutate val.
+func (c *coalescer) do(key string, fn func() ([]float64, error)) ([]float64, error) {
+	c.mu.Lock()
+	if call, ok := c.inflight[key]; ok {
+		c.mu.Unlock()
+		<-call.done
+		return call.val, call.err
+	}
+	call := &inflightCall{done: make(chan struct{})}
+	c.inflight[key] = call
+	c.mu.Unlock()
+
+	c.gauge.Set(float64(c.depth.Add(1)))
+	c.sem <- struct{}{}
+	call.val, call.err = fn()
+	<-c.sem
+	c.gauge.Set(float64(c.depth.Add(-1)))
+
+	c.mu.Lock()
+	delete(c.inflight, key)
+	c.mu.Unlock()
+	close(call.done)
+	return call.val, call.err
+}

@@ -1,0 +1,180 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"transn/internal/obs"
+)
+
+// Config configures a Server. GraphPath and ModelPath are required;
+// every other field has a production default.
+type Config struct {
+	// GraphPath is the network TSV the model was trained on.
+	GraphPath string
+	// ModelPath is the trained model gob written by `transn train
+	// -model` (or Model.Save).
+	ModelPath string
+
+	// CacheSize bounds the per-snapshot LRU of computed vectors
+	// (translations, inferred embeddings). 0 means the default (4096);
+	// negative disables caching.
+	CacheSize int
+	// TranslateWorkers bounds how many translator/inference
+	// computations run concurrently (excess requests queue; identical
+	// in-flight requests coalesce). 0 means the default (4).
+	TranslateWorkers int
+	// RequestTimeout is the per-request deadline for the /v1 endpoints.
+	// 0 means the default (10s).
+	RequestTimeout time.Duration
+	// SelfcheckTimeout is the deadline for /admin/selfcheck, which runs
+	// full model diagnostics. 0 means the default (1m).
+	SelfcheckTimeout time.Duration
+	// DrainTimeout bounds how long Shutdown waits for in-flight
+	// requests to finish. 0 means the default (10s).
+	DrainTimeout time.Duration
+	// MaxK caps the k parameter of /v1/knn. 0 means the default (100).
+	MaxK int
+}
+
+// withDefaults fills zero fields with production defaults.
+func (c Config) withDefaults() Config {
+	if c.CacheSize == 0 {
+		c.CacheSize = 4096
+	}
+	if c.TranslateWorkers == 0 {
+		c.TranslateWorkers = 4
+	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = 10 * time.Second
+	}
+	if c.SelfcheckTimeout == 0 {
+		c.SelfcheckTimeout = time.Minute
+	}
+	if c.DrainTimeout == 0 {
+		c.DrainTimeout = 10 * time.Second
+	}
+	if c.MaxK == 0 {
+		c.MaxK = 100
+	}
+	return c
+}
+
+// Server is the embedding-serving HTTP service. It owns an atomically
+// swappable snapshot (see snapshot), a request coalescer, and the
+// telemetry run its metrics report through. Construct with New, mount
+// Handler (or call Start), hot-reload with Reload, stop with Shutdown.
+// All methods are safe for concurrent use.
+type Server struct {
+	cfg Config
+	run *obs.Run
+
+	snap     atomic.Pointer[snapshot]
+	coal     *coalescer
+	draining atomic.Bool
+	reloadMu sync.Mutex // serializes Reload; requests never block on it
+
+	mux     *http.ServeMux
+	httpSrv *http.Server
+
+	reqs, errs, hits, misses, reloads *obs.Counter
+	latency                           *obs.Histogram
+	genGauge                          *obs.Gauge
+}
+
+// New loads the initial snapshot from cfg's paths and returns a ready
+// server. The returned server is not yet listening — call Start, or
+// mount Handler on a listener of your own.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if cfg.GraphPath == "" || cfg.ModelPath == "" {
+		return nil, fmt.Errorf("serve: GraphPath and ModelPath are required")
+	}
+	run := obs.NewRun()
+	sv := &Server{
+		cfg:     cfg,
+		run:     run,
+		reqs:    run.Reg.Counter(obs.MetricServeRequests),
+		errs:    run.Reg.Counter(obs.MetricServeErrors),
+		hits:    run.Reg.Counter(obs.MetricServeCacheHits),
+		misses:  run.Reg.Counter(obs.MetricServeCacheMisses),
+		reloads: run.Reg.Counter(obs.MetricServeReloads),
+		latency: run.Reg.Histogram(obs.MetricServeLatency,
+			[]float64{0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5}),
+		genGauge: run.Reg.Gauge(obs.MetricServeSnapshotGen),
+	}
+	sv.coal = newCoalescer(cfg.TranslateWorkers, run.Reg.Gauge(obs.MetricServeQueueDepth))
+	snap, err := loadSnapshot(cfg.GraphPath, cfg.ModelPath, 1, cfg.CacheSize)
+	if err != nil {
+		return nil, err
+	}
+	sv.snap.Store(snap)
+	sv.genGauge.Set(1)
+	sv.mux = http.NewServeMux()
+	sv.routes()
+	return sv, nil
+}
+
+// Handler returns the server's full route set (API, admin, health and
+// telemetry debug endpoints) for mounting on any listener.
+func (sv *Server) Handler() http.Handler { return sv.mux }
+
+// Telemetry returns the server's obs run, whose live report is also
+// exported at /metrics.
+func (sv *Server) Telemetry() *obs.Run { return sv.run }
+
+// Generation returns the generation number of the snapshot currently
+// serving traffic.
+func (sv *Server) Generation() uint64 { return sv.snap.Load().gen }
+
+// Start listens on addr (":0" picks a free port) and serves in a
+// background goroutine until Shutdown. It returns the bound address.
+func (sv *Server) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("serve: listen: %w", err)
+	}
+	sv.httpSrv = &http.Server{Handler: sv.mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = sv.httpSrv.Serve(ln) }()
+	return ln.Addr().String(), nil
+}
+
+// Reload builds a fresh snapshot from the configured paths and swaps it
+// in atomically. In-flight requests keep the snapshot they started
+// with; new requests see the new generation — no request is dropped or
+// blocked by a reload. On error the previous snapshot stays live and
+// serving continues. Concurrent Reloads are serialized.
+func (sv *Server) Reload() error {
+	sv.reloadMu.Lock()
+	defer sv.reloadMu.Unlock()
+	sp := sv.run.Trace.Start(obs.SpanServeReload)
+	gen := sv.snap.Load().gen + 1
+	snap, err := loadSnapshot(sv.cfg.GraphPath, sv.cfg.ModelPath, gen, sv.cfg.CacheSize)
+	sp.End()
+	if err != nil {
+		return err
+	}
+	sv.snap.Store(snap)
+	sv.genGauge.Set(float64(gen))
+	sv.reloads.Add(1)
+	return nil
+}
+
+// Shutdown drains the server gracefully: readiness flips to 503 (so
+// load balancers stop routing here), in-flight requests get up to
+// DrainTimeout to finish, then the listener closes. Safe to call when
+// Start was never called (it only flips readiness).
+func (sv *Server) Shutdown() error {
+	sv.draining.Store(true)
+	if sv.httpSrv == nil {
+		return nil
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), sv.cfg.DrainTimeout)
+	defer cancel()
+	return sv.httpSrv.Shutdown(ctx)
+}

@@ -1,0 +1,171 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"sort"
+
+	"transn/internal/graph"
+	"transn/internal/transn"
+)
+
+// snapshot is one immutable generation of serving state: a frozen model
+// plus every index derived from it (name lookups, k-NN norms) and the
+// per-snapshot LRU cache of computed vectors. Handlers grab the current
+// snapshot pointer once per request and work against it for the whole
+// request, so a concurrent hot reload never changes state mid-request —
+// the old snapshot stays valid until its last in-flight request
+// finishes, then the garbage collector reclaims it, cache and all.
+type snapshot struct {
+	frozen *transn.Frozen
+	gen    uint64
+
+	// nodeByName maps node names to IDs. Duplicate names resolve to the
+	// lowest ID, deterministically.
+	nodeByName map[string]graph.NodeID
+	// viewByName maps edge-type (view) names to view indices.
+	viewByName map[string]int
+	// viewNames is the inverse: view index → edge-type name.
+	viewNames []string
+	// norms[i] is the L2 norm of final embedding row i, precomputed for
+	// cosine k-NN.
+	norms []float64
+
+	cache *lru
+}
+
+// loadSnapshot reads the graph TSV and model gob from disk and builds a
+// serving snapshot of the given generation. The model must have been
+// saved against exactly this graph (transn.Load validates shapes) and
+// must be finite (Freeze validates values).
+func loadSnapshot(graphPath, modelPath string, gen uint64, cacheSize int) (*snapshot, error) {
+	gf, err := os.Open(graphPath)
+	if err != nil {
+		return nil, fmt.Errorf("serve: opening graph: %w", err)
+	}
+	defer gf.Close()
+	g, err := graph.Load(gf)
+	if err != nil {
+		return nil, fmt.Errorf("serve: loading graph: %w", err)
+	}
+	mf, err := os.Open(modelPath)
+	if err != nil {
+		return nil, fmt.Errorf("serve: opening model: %w", err)
+	}
+	defer mf.Close()
+	m, err := transn.Load(mf, g)
+	if err != nil {
+		return nil, fmt.Errorf("serve: loading model: %w", err)
+	}
+	return buildSnapshot(m, gen, cacheSize)
+}
+
+// buildSnapshot freezes an in-memory model and derives the serving
+// indexes. Split from loadSnapshot so tests can serve freshly trained
+// models without a round-trip through disk.
+func buildSnapshot(m *transn.Model, gen uint64, cacheSize int) (*snapshot, error) {
+	f, err := m.Freeze()
+	if err != nil {
+		return nil, fmt.Errorf("serve: freezing model: %w", err)
+	}
+	g := f.Graph()
+	s := &snapshot{
+		frozen:     f,
+		gen:        gen,
+		nodeByName: make(map[string]graph.NodeID, g.NumNodes()),
+		viewByName: map[string]int{},
+		cache:      newLRU(cacheSize),
+	}
+	for _, n := range g.Nodes {
+		if _, dup := s.nodeByName[n.Name]; !dup {
+			s.nodeByName[n.Name] = n.ID
+		}
+	}
+	for vi, v := range f.Views() {
+		name := g.EdgeTypeNames[v.Type]
+		s.viewByName[name] = vi
+		s.viewNames = append(s.viewNames, name)
+	}
+	final := f.FinalTable()
+	s.norms = make([]float64, final.R)
+	for i := 0; i < final.R; i++ {
+		var ss float64
+		for _, v := range final.Row(i) {
+			ss += v * v
+		}
+		s.norms[i] = math.Sqrt(ss)
+	}
+	return s, nil
+}
+
+// node resolves a node name, or a typed 404.
+func (s *snapshot) node(name string) (graph.NodeID, error) {
+	id, ok := s.nodeByName[name]
+	if !ok {
+		return 0, errf(404, CodeUnknownNode, "unknown node %q", name)
+	}
+	return id, nil
+}
+
+// view resolves a view (edge-type) name, or a typed 404.
+func (s *snapshot) view(name string) (int, error) {
+	vi, ok := s.viewByName[name]
+	if !ok {
+		return 0, errf(404, CodeUnknownView, "unknown view %q", name)
+	}
+	return vi, nil
+}
+
+// Neighbor is one k-NN result: a node and its cosine similarity to the
+// query node's final embedding.
+type Neighbor struct {
+	// Node is the neighbor's name.
+	Node string `json:"node"`
+	// Similarity is the cosine similarity in [-1, 1].
+	Similarity float64 `json:"similarity"`
+}
+
+// knn returns the k nearest neighbors of node id under cosine
+// similarity over final embeddings, excluding id itself. Ties break by
+// node ID so results are deterministic for a given snapshot. Zero-norm
+// rows (possible only for isolated pathologies) score 0.
+func (s *snapshot) knn(id graph.NodeID, k int) []Neighbor {
+	final := s.frozen.FinalTable()
+	q := final.Row(int(id))
+	qn := s.norms[id]
+	type scored struct {
+		id  int
+		sim float64
+	}
+	all := make([]scored, 0, final.R-1)
+	for i := 0; i < final.R; i++ {
+		if i == int(id) {
+			continue
+		}
+		sim := 0.0
+		if qn > 0 && s.norms[i] > 0 {
+			var dot float64
+			for c, v := range final.Row(i) {
+				dot += q[c] * v
+			}
+			sim = dot / (qn * s.norms[i])
+		}
+		all = append(all, scored{id: i, sim: sim})
+	}
+	sort.Slice(all, func(a, b int) bool {
+		if all[a].sim != all[b].sim {
+			return all[a].sim > all[b].sim
+		}
+		return all[a].id < all[b].id
+	})
+	if k > len(all) {
+		k = len(all)
+	}
+	g := s.frozen.Graph()
+	out := make([]Neighbor, 0, k)
+	for _, sc := range all[:k] {
+		out = append(out, Neighbor{Node: g.Nodes[sc.id].Name, Similarity: sc.sim})
+	}
+	return out
+}

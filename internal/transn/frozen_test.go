@@ -1,0 +1,215 @@
+package transn
+
+import (
+	"sync"
+	"testing"
+
+	"transn/internal/graph"
+	"transn/internal/mat"
+	"transn/internal/rngstream"
+)
+
+// trainedFrozen trains a small model with cross-view pairs and freezes
+// it, failing the test on any error.
+func trainedFrozen(t testing.TB) (*Model, *Frozen) {
+	t.Helper()
+	g := socialGraph(t, 10, 5, 43)
+	m, err := Train(g, quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := m.Freeze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, f
+}
+
+func TestFrozenFinalMatchesEmbeddings(t *testing.T) {
+	m, f := trainedFrozen(t)
+	want := m.Embeddings()
+	if !f.FinalTable().Equal(want, 0) {
+		t.Fatalf("frozen final table differs from Embeddings()")
+	}
+	for id := 0; id < m.Graph.NumNodes(); id++ {
+		row := f.Final(graph.NodeID(id))
+		for c, v := range row {
+			if v != want.At(id, c) {
+				t.Fatalf("Final(%d)[%d] = %v, want %v", id, c, v, want.At(id, c))
+			}
+		}
+	}
+}
+
+func TestFrozenTranslateNode(t *testing.T) {
+	m, f := trainedFrozen(t)
+	if len(m.pairs) == 0 {
+		t.Fatal("test graph produced no view-pairs")
+	}
+	pr := m.pairs[0]
+	// Pick a common node: it has embeddings in both views.
+	id := pr.Common[0]
+	got, err := f.TranslateNode(pr.I, pr.J, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reference: repeat the row into a path, run the raw translator,
+	// average the output rows.
+	tr := m.trans[0][0]
+	src := m.ViewEmbedding(pr.I, id)
+	L := tr.PathLen()
+	in := mat.New(L, len(src))
+	for k := 0; k < L; k++ {
+		in.SetRow(k, src)
+	}
+	out := tr.Translate(in)
+	want := make([]float64, out.C)
+	for k := 0; k < out.R; k++ {
+		for c, v := range out.Row(k) {
+			want[c] += v / float64(out.R)
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("dim %d want %d", len(got), len(want))
+	}
+	for c := range got {
+		if diff := got[c] - want[c]; diff > 1e-12 || diff < -1e-12 {
+			t.Fatalf("TranslateNode[%d] = %v, want %v", c, got[c], want[c])
+		}
+	}
+	// The reverse direction uses the dual translator and also works.
+	if _, err := f.TranslateNode(pr.J, pr.I, id); err != nil {
+		t.Fatalf("reverse translate: %v", err)
+	}
+	// Error cases: same view, untrained pair/view out of overlap, node
+	// missing from the source view.
+	if _, err := f.TranslateNode(pr.I, pr.I, id); err == nil {
+		t.Error("same-view translate did not error")
+	}
+	if _, err := f.TranslateNode(pr.I, pr.J, graph.NodeID(m.Graph.NumNodes()-1)); err == nil {
+		// The last node is a keyword that may well be in a view; only
+		// assert when it is genuinely absent from the source view.
+		if m.ViewEmbedding(pr.I, graph.NodeID(m.Graph.NumNodes()-1)) == nil {
+			t.Error("translate of node outside source view did not error")
+		}
+	}
+}
+
+func TestFreezeRejectsNonFinite(t *testing.T) {
+	g := socialGraph(t, 8, 4, 44)
+	m, err := Train(g, quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.ViewTable(0).Set(0, 0, nan())
+	if _, err := m.Freeze(); err == nil {
+		t.Fatal("Freeze accepted a NaN embedding")
+	}
+}
+
+func nan() float64 {
+	z := 0.0
+	return z / z
+}
+
+// TestTranslateConcurrent is the -race regression test for the shared
+// translator scratch: Translate previously routed through Apply, whose
+// lastW/lastB appends raced when two goroutines translated through the
+// same trained translator. Eight goroutines hammer one translator and
+// every result must equal the serial forward pass bit for bit.
+func TestTranslateConcurrent(t *testing.T) {
+	tr := NewTranslator(2, 4, false, 0.01, rngstream.New(7, 99))
+	in := mat.New(4, 8)
+	rng := rngstream.New(8, 100)
+	for i := range in.Data {
+		in.Data[i] = rng.NormFloat64()
+	}
+	want := tr.Translate(in)
+
+	const goroutines = 8
+	const rounds = 50
+	var wg sync.WaitGroup
+	errs := make(chan string, goroutines)
+	for gi := 0; gi < goroutines; gi++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				got := tr.Translate(in)
+				if !got.Equal(want, 0) {
+					errs <- "concurrent Translate diverged from serial result"
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for msg := range errs {
+		t.Fatal(msg)
+	}
+	// The concurrent calls must leave no pending gradient records: a
+	// training Apply+Step after the storm still works on clean scratch.
+	if len(tr.lastW) != 0 || len(tr.lastB) != 0 {
+		t.Fatalf("Translate left %d/%d pending gradient records", len(tr.lastW), len(tr.lastB))
+	}
+}
+
+// TestInferNodeConcurrent hammers InferNode from eight goroutines on a
+// frozen model — the serving layer's online fold-in path — and asserts
+// every result matches the serial call exactly. Run under -race this
+// pins that inference shares no scratch with itself or training state.
+func TestInferNodeConcurrent(t *testing.T) {
+	m, f := trainedFrozen(t)
+	var group0 []graph.NodeID
+	for _, id := range m.Graph.LabeledNodes() {
+		if m.Graph.Label(id) == 0 {
+			group0 = append(group0, id)
+		}
+	}
+	if len(group0) < 3 {
+		t.Fatal("not enough labeled nodes")
+	}
+	edges := []NeighborEdge{
+		{Neighbor: group0[0], Type: 0, Weight: 1},
+		{Neighbor: group0[1], Type: 0, Weight: 2},
+		{Neighbor: group0[2], Type: 0, Weight: 0.5},
+	}
+	want, err := f.InferNode(edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const goroutines = 8
+	const rounds = 100
+	var wg sync.WaitGroup
+	errs := make(chan string, goroutines)
+	for gi := 0; gi < goroutines; gi++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				got, err := f.InferNode(edges)
+				if err != nil {
+					errs <- err.Error()
+					return
+				}
+				for c := range got {
+					if got[c] != want[c] {
+						errs <- "concurrent InferNode diverged from serial result"
+						return
+					}
+				}
+				// Interleave the other frozen read paths the server
+				// exercises under the same load.
+				_ = f.Final(group0[0])
+				_ = f.ViewEmbedding(0, group0[0])
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for msg := range errs {
+		t.Fatal(msg)
+	}
+}

@@ -57,14 +57,17 @@ func NewTranslator(encoders, pathLen int, simple bool, lr float64, rng *rand.Ran
 // PathLen returns the fixed path length the translator was built for.
 func (t *Translator) PathLen() int { return t.Ws[0].R }
 
-// Apply records the translator's forward computation on the tape and
-// returns the translated matrix tensor. x must be PathLen×d.
-func (t *Translator) Apply(tp *autodiff.Tape, x *autodiff.Tensor) *autodiff.Tensor {
+// forward builds the encoder stack's computation on tp from the lifted
+// input x. lift raises each parameter matrix onto the tape — tp.Param
+// for training (gradients tracked), tp.Constant for pure inference —
+// and record, when non-nil, receives every lifted (W, b) pair so Step
+// can read their gradients after Backward.
+func (t *Translator) forward(tp *autodiff.Tape, x *autodiff.Tensor, lift func(*mat.Dense) *autodiff.Tensor, record func(w, b *autodiff.Tensor)) *autodiff.Tensor {
 	d := float64(x.Value.C)
 	out := x
 	for i := range t.Ws {
-		w := tp.Param(t.Ws[i])
-		b := tp.Param(t.Bs[i])
+		w := lift(t.Ws[i])
+		b := lift(t.Bs[i])
 		if !t.Simple {
 			// Residual self-attention sublayer with post-norm.
 			att := tp.SoftmaxRows(tp.Scale(1/math.Sqrt(d), tp.MatMulT(out, out)))
@@ -72,12 +75,25 @@ func (t *Translator) Apply(tp *autodiff.Tape, x *autodiff.Tensor) *autodiff.Tens
 		}
 		// Residual feed-forward sublayer with post-norm.
 		out = tp.LayerNormRows(tp.Add(out, tp.Relu(tp.AddColBroadcast(tp.MatMul(w, out), b))))
+		if record != nil {
+			record(w, b)
+		}
+	}
+	return out
+}
+
+// Apply records the translator's forward computation on the tape and
+// returns the translated matrix tensor. x must be PathLen×d. Apply
+// mutates the translator's gradient-tracking scratch and belongs to the
+// training path: it must not be called concurrently with itself or with
+// Step/DiscardGrads. Inference paths use Translate instead.
+func (t *Translator) Apply(tp *autodiff.Tape, x *autodiff.Tensor) *autodiff.Tensor {
+	return t.forward(tp, x, tp.Param, func(w, b *autodiff.Tensor) {
 		// Track the freshly lifted parameter tensors so Step can read
 		// their gradients after Backward.
 		t.lastW = append(t.lastW, w)
 		t.lastB = append(t.lastB, b)
-	}
-	return out
+	})
 }
 
 // Step applies one Adam update using the gradients accumulated by
@@ -106,10 +122,14 @@ func (t *Translator) DiscardGrads() {
 }
 
 // Translate runs the forward pass outside any training loop, for
-// inference and tests.
+// inference, diagnostics and tests. Unlike Apply it is safe for
+// concurrent callers: parameters are lifted onto a private tape as
+// constants and nothing is recorded into the translator's
+// gradient-tracking scratch, so concurrent calls share only the
+// read-only weight tables. (It previously routed through Apply, whose
+// lastW/lastB appends are training-path scratch — two concurrent
+// Translate calls raced on those slices.)
 func (t *Translator) Translate(x *mat.Dense) *mat.Dense {
 	tp := autodiff.NewTape()
-	out := t.Apply(tp, tp.Constant(x)).Value.Clone()
-	t.DiscardGrads()
-	return out
+	return t.forward(tp, tp.Constant(x), tp.Constant, nil).Value.Clone()
 }
