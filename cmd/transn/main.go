@@ -50,6 +50,7 @@ import (
 	"transn/internal/diag"
 	"transn/internal/graph"
 	"transn/internal/lint"
+	"transn/internal/load"
 	"transn/internal/mat"
 	"transn/internal/obs"
 	"transn/internal/transn"
@@ -116,7 +117,7 @@ func usage() {
   diagnose    -input net.tsv -model model.gob [-output diag.json]
               [-summary] [-events ev.jsonl] [-no-corpus] [-corpus-seed 1]
               [-coverage-warn 0.95] [-workers 0]
-  checkreport -report rep.json (telemetry, diagnostics or lint document)`)
+  checkreport -report rep.json (telemetry, diagnostics, lint or serving-bench document)`)
 }
 
 func loadGraph(path string) (*graph.Graph, error) {
@@ -253,9 +254,10 @@ func cmdTrain(args []string) error {
 
 // cmdCheckReport validates a telemetry report written by `train
 // -report` / `benchrun -report`, a diagnostics document written by
-// `diagnose -output`, or a lint document written by `transnlint -json`,
-// against its schema — the file's own schema field picks the validator.
-// CI's smoke jobs run this on the artifacts they upload.
+// `diagnose -output`, a lint document written by `transnlint -json`, or
+// a serving-bench report written by `transnload -report`, against its
+// schema — the file's own schema field picks the validator. CI's smoke
+// jobs run this on the artifacts they upload.
 func cmdCheckReport(args []string) error {
 	fs := flag.NewFlagSet("checkreport", flag.ExitOnError)
 	report := fs.String("report", "", "telemetry report, diagnostics or lint JSON to validate (required)")
@@ -283,6 +285,13 @@ func cmdCheckReport(args []string) error {
 			return fmt.Errorf("checkreport: %s: %w", *report, err)
 		}
 		fmt.Printf("%s: valid %s document\n", *report, lint.Schema)
+		return nil
+	}
+	if peek.Schema == load.BenchSchema {
+		if err := load.Validate(data); err != nil {
+			return fmt.Errorf("checkreport: %s: %w", *report, err)
+		}
+		fmt.Printf("%s: valid %s report\n", *report, load.BenchSchema)
 		return nil
 	}
 	if err := obs.ValidateReport(data); err != nil {

@@ -1,0 +1,155 @@
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"transn/internal/ordered"
+)
+
+// Budget is one SLO budget set. Every field is a pointer so an absent
+// budget and a zero budget are distinguishable — {"max_5xx": 0} means
+// "zero server errors allowed", omitting it means "don't check".
+type Budget struct {
+	// MaxP50Seconds / MaxP99Seconds bound the latency quantiles.
+	MaxP50Seconds *float64 `json:"max_p50_seconds,omitempty"`
+	MaxP99Seconds *float64 `json:"max_p99_seconds,omitempty"`
+	// MaxErrorRate bounds Errors/Sent (a fraction within [0,1]).
+	MaxErrorRate *float64 `json:"max_error_rate,omitempty"`
+}
+
+// Gate is a declarative SLO file checked against a Report: overall
+// budgets, optional per-endpoint overrides, and run-level floors.
+// transnload -gate exits non-zero when any budget is violated, which is
+// what lets CI fail a PR on a serving-latency regression.
+type Gate struct {
+	// Overall applies to the aggregate report numbers; its latency
+	// budgets are checked against every endpoint (an SLO on "the
+	// service" bounds its slowest endpoint, not a blend).
+	Overall *Budget `json:"overall,omitempty"`
+	// Endpoints overrides Overall per endpoint name; an endpoint's
+	// entry fully replaces the overall latency budgets for it.
+	Endpoints map[string]*Budget `json:"endpoints,omitempty"`
+	// Max5xx bounds the number of server-side (5xx-class) failures:
+	// envelope codes "internal" and "timeout" plus transport errors.
+	// The hot-reload acceptance bar is {"max_5xx": 0}.
+	Max5xx *int64 `json:"max_5xx,omitempty"`
+	// MinAchievedFraction requires AchievedRate ≥ fraction·OfferedRate,
+	// the saturation check.
+	MinAchievedFraction *float64 `json:"min_achieved_fraction,omitempty"`
+	// MinReloadsOK requires at least this many successful mid-run
+	// reloads (proves the hot-reload path was actually exercised).
+	MinReloadsOK *int `json:"min_reloads_ok,omitempty"`
+}
+
+// ParseGate decodes an SLO gate file strictly: unknown fields are
+// errors, so a typo like "max_p99_second" fails loudly instead of
+// silently never gating.
+func ParseGate(data []byte) (*Gate, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var g Gate
+	if err := dec.Decode(&g); err != nil {
+		return nil, fmt.Errorf("load: gate file: %w", err)
+	}
+	known := map[string]bool{}
+	for _, ep := range Endpoints() {
+		known[string(ep)] = true
+	}
+	for _, name := range ordered.Keys(g.Endpoints) {
+		if !known[name] {
+			return nil, fmt.Errorf("load: gate file budgets unknown endpoint %q", name)
+		}
+	}
+	return &g, nil
+}
+
+// serverCodes are the envelope codes Max5xx counts as server-side
+// failures, alongside transport errors. Client-caused 4xx codes
+// (bad_request, unknown_node, ...) are deliberately excluded — a gate
+// on server health must not trip on a mis-generated request.
+var serverCodes = map[string]bool{"internal": true, "timeout": true, "not_ready": true, "transport": true}
+
+// Check evaluates the gate against the report and returns one
+// human-readable violation string per broken budget, empty when the
+// report passes. Violations carry the budget, the observed value and
+// the endpoint so a CI log line is actionable on its own.
+func (g *Gate) Check(rep *Report) []string {
+	var out []string
+	budgetFor := func(name string) *Budget {
+		if b, ok := g.Endpoints[name]; ok && b != nil {
+			return b
+		}
+		return g.Overall
+	}
+	for _, ep := range Endpoints() {
+		name := string(ep)
+		es, ok := rep.Endpoints[name]
+		if !ok {
+			continue
+		}
+		b := budgetFor(name)
+		if b == nil {
+			continue
+		}
+		if b.MaxP50Seconds != nil && es.P50Seconds > *b.MaxP50Seconds {
+			out = append(out, fmt.Sprintf("endpoint %s: p50 %.6fs exceeds budget %.6fs",
+				name, es.P50Seconds, *b.MaxP50Seconds))
+		}
+		if b.MaxP99Seconds != nil && es.P99Seconds > *b.MaxP99Seconds {
+			out = append(out, fmt.Sprintf("endpoint %s: p99 %.6fs exceeds budget %.6fs",
+				name, es.P99Seconds, *b.MaxP99Seconds))
+		}
+		if b.MaxErrorRate != nil && es.Sent > 0 {
+			rate := float64(es.Errors) / float64(es.Sent)
+			if rate > *b.MaxErrorRate {
+				out = append(out, fmt.Sprintf("endpoint %s: error rate %.4f exceeds budget %.4f",
+					name, rate, *b.MaxErrorRate))
+			}
+		}
+	}
+	if g.Overall != nil && g.Overall.MaxErrorRate != nil && rep.ErrorRate > *g.Overall.MaxErrorRate {
+		out = append(out, fmt.Sprintf("overall error rate %.4f exceeds budget %.4f",
+			rep.ErrorRate, *g.Overall.MaxErrorRate))
+	}
+	if g.Max5xx != nil {
+		var got int64
+		for _, code := range ordered.Keys(rep.ErrorsByCode) {
+			if serverCodes[code] {
+				got += rep.ErrorsByCode[code]
+			}
+		}
+		if got > *g.Max5xx {
+			out = append(out, fmt.Sprintf("server-side failures %d exceed budget %d (by code: %s)",
+				got, *g.Max5xx, formatCodes(rep.ErrorsByCode)))
+		}
+	}
+	if g.MinAchievedFraction != nil {
+		floor := *g.MinAchievedFraction * rep.OfferedRate
+		if rep.AchievedRate < floor {
+			out = append(out, fmt.Sprintf("achieved rate %.2f req/s below %.0f%% of offered %.2f req/s",
+				rep.AchievedRate, *g.MinAchievedFraction*100, rep.OfferedRate))
+		}
+	}
+	if g.MinReloadsOK != nil && rep.ReloadsOK < *g.MinReloadsOK {
+		out = append(out, fmt.Sprintf("successful reloads %d below required %d",
+			rep.ReloadsOK, *g.MinReloadsOK))
+	}
+	return out
+}
+
+// formatCodes renders an errors-by-code map compactly in stable order.
+func formatCodes(m map[string]int64) string {
+	if len(m) == 0 {
+		return "none"
+	}
+	s := ""
+	for i, code := range ordered.Keys(m) {
+		if i > 0 {
+			s += ", "
+		}
+		s += fmt.Sprintf("%s=%d", code, m[code])
+	}
+	return s
+}

@@ -1,0 +1,115 @@
+package load
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseGate(t *testing.T) {
+	g, err := ParseGate([]byte(`{
+		"overall": {"max_p99_seconds": 0.1, "max_error_rate": 0.01},
+		"endpoints": {"translate": {"max_p99_seconds": 0.25}},
+		"max_5xx": 0,
+		"min_achieved_fraction": 0.9,
+		"min_reloads_ok": 1
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Overall == nil || *g.Overall.MaxP99Seconds != 0.1 {
+		t.Fatalf("overall budget not parsed: %+v", g.Overall)
+	}
+	if *g.Max5xx != 0 {
+		t.Fatalf("max_5xx = %d, want 0 (zero must be representable)", *g.Max5xx)
+	}
+	if g.Endpoints["translate"] == nil || *g.Endpoints["translate"].MaxP99Seconds != 0.25 {
+		t.Fatal("per-endpoint override not parsed")
+	}
+}
+
+func TestParseGateRejectsTypos(t *testing.T) {
+	if _, err := ParseGate([]byte(`{"overall": {"max_p99_second": 1}}`)); err == nil {
+		t.Fatal("typo'd budget key accepted — the gate would silently never fire")
+	}
+	if _, err := ParseGate([]byte(`{"endpoints": {"bogus": {"max_p99_seconds": 1}}}`)); err == nil {
+		t.Fatal("unknown endpoint accepted")
+	}
+	if _, err := ParseGate([]byte(`not json`)); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func f(v float64) *float64 { return &v }
+func i64(v int64) *int64   { return &v }
+func iv(v int) *int        { return &v }
+
+func TestGateCheckPasses(t *testing.T) {
+	g := &Gate{
+		Overall:             &Budget{MaxP99Seconds: f(0.1), MaxErrorRate: f(0.5)},
+		Max5xx:              i64(1),
+		MinAchievedFraction: f(0.9),
+		MinReloadsOK:        iv(2),
+	}
+	if vs := g.Check(validReport()); len(vs) != 0 {
+		t.Fatalf("clean report violated gate: %v", vs)
+	}
+}
+
+func TestGateCheckViolations(t *testing.T) {
+	rep := validReport() // p99 0.009, error rate 0.1, timeout=1, achieved 99/100
+	g := &Gate{
+		Overall:             &Budget{MaxP50Seconds: f(0.0001), MaxP99Seconds: f(0.001), MaxErrorRate: f(0.01)},
+		Max5xx:              i64(0),
+		MinAchievedFraction: f(1.0),
+		MinReloadsOK:        iv(3),
+	}
+	vs := g.Check(rep)
+	for _, want := range []string{
+		"p50", "p99", "error rate", "server-side failures", "achieved rate", "reloads",
+	} {
+		found := false
+		for _, v := range vs {
+			if strings.Contains(v, want) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no violation mentioning %q in %v", want, vs)
+		}
+	}
+}
+
+// TestGateEndpointOverride pins that a per-endpoint budget replaces the
+// overall latency budget for that endpoint rather than stacking.
+func TestGateEndpointOverride(t *testing.T) {
+	rep := validReport() // embedding p99 = 0.009
+	g := &Gate{
+		Overall:   &Budget{MaxP99Seconds: f(0.001)}, // would trip
+		Endpoints: map[string]*Budget{"embedding": {MaxP99Seconds: f(0.05)}},
+	}
+	if vs := g.Check(rep); len(vs) != 0 {
+		t.Fatalf("override did not replace overall budget: %v", vs)
+	}
+	// And the override itself still trips when exceeded.
+	g.Endpoints["embedding"] = &Budget{MaxP99Seconds: f(0.0001)}
+	if vs := g.Check(rep); len(vs) != 1 || !strings.Contains(vs[0], "p99") {
+		t.Fatalf("override budget did not trip: %v", vs)
+	}
+}
+
+// TestGateMax5xxIgnoresClientErrors pins that client-caused envelope
+// codes (unknown_node etc.) never count against the server-failure
+// budget.
+func TestGateMax5xxIgnoresClientErrors(t *testing.T) {
+	rep := validReport()
+	rep.ErrorsByCode = map[string]int64{"unknown_node": 5, "bad_request": 2}
+	g := &Gate{Max5xx: i64(0)}
+	if vs := g.Check(rep); len(vs) != 0 {
+		t.Fatalf("client errors tripped the 5xx budget: %v", vs)
+	}
+	rep.ErrorsByCode["transport"] = 1
+	if vs := g.Check(rep); len(vs) != 1 {
+		t.Fatalf("transport error did not trip max_5xx=0: %v", vs)
+	}
+}

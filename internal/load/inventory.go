@@ -1,0 +1,117 @@
+package load
+
+import (
+	"fmt"
+	"math/rand"
+	"net/url"
+	"strings"
+
+	"transn/internal/graph"
+)
+
+// Inventory is the request-argument pool derived from the graph the
+// served model was trained on: node names for embedding/k-NN lookups,
+// view pairs with common nodes for translations, and per-view member
+// lists for synthesizing inference payloads. Building it from the same
+// TSV the server loads guarantees every generated request is valid —
+// the harness measures serving latency, not 404 production.
+type Inventory struct {
+	nodes []string // every node name, ID order
+
+	// translates flattens every (common node, from-view, to-view)
+	// combination in both directions, so a uniform draw weights pairs by
+	// how many nodes they can translate.
+	translates []translateTarget
+
+	// viewNames[i] names view i; viewMembers[i] lists its node names.
+	viewNames   []string
+	viewMembers [][]string
+}
+
+// translateTarget is one valid /v1/translate argument triple.
+type translateTarget struct {
+	node, from, to string
+}
+
+// NewInventory derives the request pool from a loaded graph. The graph
+// must have at least two nodes; translate targets may legitimately be
+// empty (a model trained with no overlapping views), in which case a
+// Mix giving translate weight is rejected at Run time.
+func NewInventory(g *graph.Graph) (*Inventory, error) {
+	if g.NumNodes() < 2 {
+		return nil, fmt.Errorf("load: graph has %d nodes; need at least 2", g.NumNodes())
+	}
+	inv := &Inventory{}
+	for _, n := range g.Nodes {
+		inv.nodes = append(inv.nodes, n.Name)
+	}
+	views := g.Views()
+	for _, v := range views {
+		inv.viewNames = append(inv.viewNames, g.EdgeTypeNames[v.Type])
+		members := make([]string, 0, len(v.NodeIDs))
+		for _, id := range v.NodeIDs {
+			members = append(members, g.Nodes[id].Name)
+		}
+		inv.viewMembers = append(inv.viewMembers, members)
+	}
+	for _, pr := range g.ViewPairs() {
+		from, to := inv.viewNames[pr.I], inv.viewNames[pr.J]
+		for _, id := range pr.Common {
+			name := g.Nodes[id].Name
+			inv.translates = append(inv.translates,
+				translateTarget{node: name, from: from, to: to},
+				translateTarget{node: name, from: to, to: from})
+		}
+	}
+	return inv, nil
+}
+
+// Supports reports whether the inventory can generate requests for the
+// endpoint (translate needs at least one trained view pair).
+func (inv *Inventory) Supports(ep Endpoint) bool {
+	if ep == EndpointTranslate {
+		return len(inv.translates) > 0
+	}
+	return true
+}
+
+// request draws one concrete request for the endpoint from the stream:
+// an HTTP method, a URL path+query, and a JSON body for POSTs.
+func (inv *Inventory) request(rng *rand.Rand, ep Endpoint) (method, target, body string) {
+	switch ep {
+	case EndpointEmbedding:
+		node := inv.nodes[rng.Intn(len(inv.nodes))]
+		return "GET", "/v1/embedding?node=" + url.QueryEscape(node), ""
+	case EndpointTranslate:
+		tt := inv.translates[rng.Intn(len(inv.translates))]
+		return "GET", "/v1/translate?node=" + url.QueryEscape(tt.node) +
+			"&from=" + url.QueryEscape(tt.from) + "&to=" + url.QueryEscape(tt.to), ""
+	case EndpointKNN:
+		node := inv.nodes[rng.Intn(len(inv.nodes))]
+		maxK := len(inv.nodes) - 1
+		if maxK > 5 {
+			maxK = 5
+		}
+		k := 1 + rng.Intn(maxK)
+		return "GET", fmt.Sprintf("/v1/knn?node=%s&k=%d", url.QueryEscape(node), k), ""
+	case EndpointInfer:
+		// Fold in a synthetic unseen node: 1–3 edges into members of one
+		// randomly chosen non-empty view, unit or double weight.
+		vi := rng.Intn(len(inv.viewMembers))
+		for len(inv.viewMembers[vi]) == 0 {
+			vi = (vi + 1) % len(inv.viewMembers)
+		}
+		members, view := inv.viewMembers[vi], inv.viewNames[vi]
+		n := 1 + rng.Intn(3)
+		if n > len(members) {
+			n = len(members)
+		}
+		var edges []string
+		for i := 0; i < n; i++ {
+			edges = append(edges, fmt.Sprintf(`{"neighbor":%q,"type":%q,"weight":%d}`,
+				members[rng.Intn(len(members))], view, 1+rng.Intn(2)))
+		}
+		return "POST", "/v1/infer", `{"edges":[` + strings.Join(edges, ",") + `]}`
+	}
+	panic(fmt.Sprintf("load: unknown endpoint %q", ep))
+}

@@ -1,0 +1,165 @@
+// Package load is the serving load harness: an open-loop generator
+// that drives a live transnserve instance with a mixed endpoint
+// distribution at a target request rate and reports per-endpoint
+// latency quantiles, achieved throughput, and error rates as a
+// schema-stable transn.bench.serve/v1 document, optionally checked
+// against declared SLO budgets (gates).
+//
+// The generator is open-loop on purpose: arrivals follow a Poisson
+// process at the offered rate and each request is fired at its
+// scheduled instant whether or not earlier requests have completed, so
+// queueing delay shows up in the measured latency instead of being
+// hidden by closed-loop backpressure (the coordinated-omission trap —
+// a closed-loop client slows its own arrival rate exactly when the
+// server degrades, erasing the evidence). Latency is measured from the
+// scheduled arrival time, not the actual send time, for the same
+// reason. See DESIGN.md §11.
+//
+// The request stream is deterministic for a fixed seed: arrivals,
+// endpoint choices and request arguments all derive from
+// internal/rngstream streams, so two runs against the same snapshot
+// offer byte-identical workloads and differences in a report are
+// differences in the server, not the harness.
+package load
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Endpoint names one of the serving API endpoints the harness drives.
+// The string values are the keys of the report's endpoints section.
+type Endpoint string
+
+// The drivable endpoints. Admin and health routes are deliberately not
+// part of a workload mix: /admin/reload has its own schedule (Profile.
+// Reloads) and health probes are not representative traffic.
+const (
+	// EndpointEmbedding drives GET /v1/embedding (final and per-view).
+	EndpointEmbedding Endpoint = "embedding"
+	// EndpointTranslate drives GET /v1/translate — the Eq. 8–10
+	// translator forward pass, the most expensive request class.
+	EndpointTranslate Endpoint = "translate"
+	// EndpointKNN drives GET /v1/knn — the full-table cosine scan.
+	EndpointKNN Endpoint = "knn"
+	// EndpointInfer drives POST /v1/infer — online fold-in of an unseen
+	// node.
+	EndpointInfer Endpoint = "infer"
+)
+
+// Endpoints returns every drivable endpoint in stable report order.
+func Endpoints() []Endpoint {
+	return []Endpoint{EndpointEmbedding, EndpointTranslate, EndpointKNN, EndpointInfer}
+}
+
+// Mix is a workload distribution: relative (unnormalized) weights per
+// endpoint. Endpoints absent or with weight zero are never requested.
+type Mix map[Endpoint]float64
+
+// DefaultMix approximates a read-heavy serving workload: mostly plain
+// embedding lookups, a substantial translator share (the hot model
+// path), some k-NN, a trickle of inference.
+func DefaultMix() Mix {
+	return Mix{EndpointEmbedding: 4, EndpointTranslate: 3, EndpointKNN: 2, EndpointInfer: 1}
+}
+
+// ParseMix parses a "embedding=4,translate=3,knn=2,infer=1" flag value.
+// Unknown endpoint names and non-positive weights are errors; endpoints
+// left out get weight zero.
+func ParseMix(s string) (Mix, error) {
+	m := Mix{}
+	known := map[Endpoint]bool{}
+	for _, ep := range Endpoints() {
+		known[ep] = true
+	}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("load: mix entry %q is not name=weight", part)
+		}
+		ep := Endpoint(strings.TrimSpace(name))
+		if !known[ep] {
+			return nil, fmt.Errorf("load: unknown endpoint %q in mix (known: embedding, translate, knn, infer)", name)
+		}
+		w, err := strconv.ParseFloat(strings.TrimSpace(val), 64)
+		if err != nil || w <= 0 {
+			return nil, fmt.Errorf("load: mix weight for %q must be a positive number, got %q", name, val)
+		}
+		if _, dup := m[ep]; dup {
+			return nil, fmt.Errorf("load: endpoint %q appears twice in mix", name)
+		}
+		m[ep] = w
+	}
+	if len(m) == 0 {
+		return nil, fmt.Errorf("load: empty mix")
+	}
+	return m, nil
+}
+
+// active returns the endpoints with positive weight, in stable order.
+func (m Mix) active() []Endpoint {
+	var out []Endpoint
+	for _, ep := range Endpoints() {
+		if m[ep] > 0 {
+			out = append(out, ep)
+		}
+	}
+	return out
+}
+
+// pick draws one endpoint from the mix using the given stream.
+func (m Mix) pick(rng *rand.Rand) Endpoint {
+	var total float64
+	for _, ep := range Endpoints() {
+		total += m[ep]
+	}
+	x := rng.Float64() * total
+	for _, ep := range Endpoints() {
+		x -= m[ep]
+		if x < 0 {
+			return ep
+		}
+	}
+	// Float round-off on the last draw; the final active endpoint wins.
+	act := m.active()
+	return act[len(act)-1]
+}
+
+// String renders the mix in flag syntax, stable endpoint order.
+func (m Mix) String() string {
+	var parts []string
+	for _, ep := range m.active() {
+		parts = append(parts, fmt.Sprintf("%s=%g", ep, m[ep]))
+	}
+	return strings.Join(parts, ",")
+}
+
+// Arrivals returns the request offsets (from run start) of an open-loop
+// Poisson arrival process at the given rate over the window: the gaps
+// are i.i.d. exponential with mean 1/rate, so request counts in
+// disjoint intervals are independent — the standard model for a large
+// population of independent clients. The schedule is materialized up
+// front (one draw per arrival) so the workload is deterministic for a
+// fixed stream and can be replayed exactly.
+func Arrivals(rng *rand.Rand, rate float64, window time.Duration) []time.Duration {
+	if rate <= 0 || window <= 0 {
+		return nil
+	}
+	var out []time.Duration
+	t := 0.0
+	limit := window.Seconds()
+	for {
+		t += rng.ExpFloat64() / rate
+		if t >= limit {
+			return out
+		}
+		out = append(out, time.Duration(t*float64(time.Second)))
+	}
+}

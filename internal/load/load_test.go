@@ -1,0 +1,115 @@
+package load
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"transn/internal/rngstream"
+)
+
+func TestParseMix(t *testing.T) {
+	m, err := ParseMix("embedding=4, translate=3,knn=2,infer=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := DefaultMix()
+	for _, ep := range Endpoints() {
+		if m[ep] != want[ep] {
+			t.Fatalf("%s weight = %v, want %v", ep, m[ep], want[ep])
+		}
+	}
+	if m.String() != "embedding=4,translate=3,knn=2,infer=1" {
+		t.Fatalf("String() = %q", m.String())
+	}
+
+	// Partial mixes leave absent endpoints at zero weight.
+	m, err = ParseMix("translate=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.active(); len(got) != 1 || got[0] != EndpointTranslate {
+		t.Fatalf("active() = %v, want [translate]", got)
+	}
+
+	for _, bad := range []string{
+		"", "   ", "bogus=1", "embedding", "embedding=0", "embedding=-1",
+		"embedding=x", "embedding=1,embedding=2",
+	} {
+		if _, err := ParseMix(bad); err == nil {
+			t.Errorf("ParseMix(%q) accepted", bad)
+		}
+	}
+}
+
+func TestMixPickFollowsWeights(t *testing.T) {
+	m := Mix{EndpointEmbedding: 3, EndpointInfer: 1}
+	rng := rngstream.New(11, 0)
+	counts := map[Endpoint]int{}
+	const n = 20000
+	for i := 0; i < n; i++ {
+		counts[m.pick(rng)]++
+	}
+	if counts[EndpointTranslate] != 0 || counts[EndpointKNN] != 0 {
+		t.Fatalf("picked zero-weight endpoints: %v", counts)
+	}
+	frac := float64(counts[EndpointEmbedding]) / n
+	if math.Abs(frac-0.75) > 0.02 {
+		t.Fatalf("embedding fraction = %v, want ~0.75", frac)
+	}
+}
+
+func TestMixPickDeterministic(t *testing.T) {
+	m := DefaultMix()
+	a := rngstream.New(5, 1)
+	b := rngstream.New(5, 1)
+	for i := 0; i < 500; i++ {
+		if x, y := m.pick(a), m.pick(b); x != y {
+			t.Fatalf("draw %d diverged: %s vs %s", i, x, y)
+		}
+	}
+}
+
+func TestArrivals(t *testing.T) {
+	rng := rngstream.New(3, 0)
+	rate, window := 200.0, 2*time.Second
+	offs := Arrivals(rng, rate, window)
+	if len(offs) == 0 {
+		t.Fatal("no arrivals")
+	}
+	// Strictly increasing, all inside the window.
+	for i, off := range offs {
+		if off < 0 || off >= window {
+			t.Fatalf("arrival %d at %v outside [0, %v)", i, off, window)
+		}
+		if i > 0 && off <= offs[i-1] {
+			t.Fatalf("arrivals not increasing at %d: %v after %v", i, off, offs[i-1])
+		}
+	}
+	// A Poisson process at rate λ over T yields λT arrivals on average
+	// with stddev sqrt(λT): 400 ± 20 here; 5σ bounds make flakes
+	// astronomically unlikely.
+	mean := rate * window.Seconds()
+	if got := float64(len(offs)); math.Abs(got-mean) > 5*math.Sqrt(mean) {
+		t.Fatalf("got %v arrivals, want %v ± %v", got, mean, 5*math.Sqrt(mean))
+	}
+	// Deterministic: the same stream reproduces the same schedule.
+	again := Arrivals(rngstream.New(3, 0), rate, window)
+	if len(again) != len(offs) {
+		t.Fatalf("replay produced %d arrivals, want %d", len(again), len(offs))
+	}
+	for i := range offs {
+		if offs[i] != again[i] {
+			t.Fatalf("replay diverged at %d: %v vs %v", i, offs[i], again[i])
+		}
+	}
+}
+
+func TestArrivalsDegenerate(t *testing.T) {
+	if got := Arrivals(rngstream.New(1, 0), 0, time.Second); got != nil {
+		t.Fatalf("zero rate produced %d arrivals", len(got))
+	}
+	if got := Arrivals(rngstream.New(1, 0), 100, 0); got != nil {
+		t.Fatalf("zero window produced %d arrivals", len(got))
+	}
+}

@@ -1,0 +1,143 @@
+package load
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"transn/internal/obs"
+)
+
+// validReport builds a minimal well-formed report for mutation tests.
+func validReport() *Report {
+	hist := obs.HistSnapshot{
+		Bounds: []float64{0.001, 0.01},
+		Counts: []int64{5, 4, 1},
+		Sum:    0.05,
+		Count:  10,
+	}
+	return &Report{
+		Schema:          BenchSchema,
+		Name:            "unit",
+		Target:          "http://127.0.0.1:1",
+		Seed:            1,
+		Mix:             "embedding=1",
+		OfferedRate:     100,
+		AchievedRate:    99,
+		WarmupSeconds:   0.1,
+		DurationSeconds: 1,
+		Sent:            10,
+		OK:              9,
+		Errors:          1,
+		ErrorRate:       0.1,
+		Endpoints: map[string]EndpointStats{
+			"embedding": {
+				Sent: 10, OK: 9, Errors: 1,
+				P50Seconds: 0.001, P90Seconds: 0.005, P99Seconds: 0.009,
+				MaxSeconds: 0.004, MeanSeconds: 0.005,
+				Histogram: hist,
+			},
+		},
+		ErrorsByCode: map[string]int64{"timeout": 1},
+		Reloads:      2,
+		ReloadsOK:    2,
+	}
+}
+
+func encode(t *testing.T, rep *Report) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteReport(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestValidateAcceptsGoodReport(t *testing.T) {
+	if err := Validate(encode(t, validReport())); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestValidateAllowsP99AboveMax pins the deliberate non-check: an
+// interpolated p99 can exceed the exact observed max (all samples low
+// in a wide bucket), and the validator must not reject that.
+func TestValidateAllowsP99AboveMax(t *testing.T) {
+	rep := validReport()
+	es := rep.Endpoints["embedding"]
+	es.MaxSeconds = 0.0003 // below the interpolated p99 of 0.009
+	rep.Endpoints["embedding"] = es
+	if err := Validate(encode(t, rep)); err != nil {
+		t.Fatalf("p99 > max rejected: %v", err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(*Report)
+		wantSub string
+	}{
+		{"wrong schema", func(r *Report) { r.Schema = "bogus/v9" }, "schema"},
+		{"empty name", func(r *Report) { r.Name = "" }, "name"},
+		{"empty target", func(r *Report) { r.Target = "" }, "target"},
+		{"zero rate", func(r *Report) { r.OfferedRate = 0 }, "offered_rate"},
+		{"negative achieved", func(r *Report) { r.AchievedRate = -1 }, "achieved_rate"},
+		{"zero duration", func(r *Report) { r.DurationSeconds = 0 }, "duration_seconds"},
+		{"negative warmup", func(r *Report) { r.WarmupSeconds = -1 }, "warmup_seconds"},
+		{"accounting mismatch", func(r *Report) { r.OK = 5 }, "!= sent"},
+		{"error rate out of range", func(r *Report) { r.ErrorRate = 1.5 }, "error_rate"},
+		{"nil endpoints", func(r *Report) { r.Endpoints = nil }, "endpoints"},
+		{"unknown endpoint", func(r *Report) {
+			r.Endpoints["bogus"] = EndpointStats{}
+		}, "unknown endpoint"},
+		{"endpoint accounting", func(r *Report) {
+			es := r.Endpoints["embedding"]
+			es.OK = 1
+			r.Endpoints["embedding"] = es
+		}, `endpoint "embedding"`},
+		{"non-monotone quantiles", func(r *Report) {
+			es := r.Endpoints["embedding"]
+			es.P90Seconds = es.P99Seconds + 1
+			r.Endpoints["embedding"] = es
+		}, "not monotone"},
+		{"negative quantile", func(r *Report) {
+			es := r.Endpoints["embedding"]
+			es.P50Seconds = -0.001
+			r.Endpoints["embedding"] = es
+		}, "p50_seconds"},
+		{"histogram shape", func(r *Report) {
+			es := r.Endpoints["embedding"]
+			es.Histogram.Counts = es.Histogram.Counts[:1]
+			r.Endpoints["embedding"] = es
+		}, "histogram"},
+		{"endpoint sum mismatch", func(r *Report) { r.Sent, r.OK = 20, 19 }, "sum to"},
+		{"negative code count", func(r *Report) { r.ErrorsByCode["timeout"] = -1 }, "errors_by_code"},
+		{"reloads_ok above reloads", func(r *Report) { r.ReloadsOK = 3 }, "reloads"},
+		{"bad server stats", func(r *Report) {
+			r.Server = &ServerStats{CacheHitRate: 2}
+		}, "cache_hit_rate"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rep := validReport()
+			tc.mutate(rep)
+			err := Validate(encode(t, rep))
+			if err == nil {
+				t.Fatal("validated")
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+func TestValidateRejectsGarbage(t *testing.T) {
+	if err := Validate([]byte("not json")); err == nil {
+		t.Fatal("garbage validated")
+	}
+	if err := Validate([]byte(`{"name":"x"}`)); err == nil {
+		t.Fatal("schema-less document validated")
+	}
+}

@@ -47,6 +47,28 @@ const (
 	// MetricServeQueueDepth is the number of translation computations
 	// currently queued or running in the coalescing executor.
 	MetricServeQueueDepth = "serve.queue_depth"
+	// MetricServeCoalesced counts requests that joined an identical
+	// in-flight computation instead of running their own forward pass —
+	// the coalescer's deduplication hit count.
+	MetricServeCoalesced = "serve.coalesced"
+
+	// MetricLoadOffered counts requests the load harness scheduled in
+	// the measured window (the open-loop arrival process; see
+	// DESIGN.md §11). Offered minus sent is harness backlog.
+	MetricLoadOffered = "load.offered"
+	// MetricLoadSent counts measured-window requests that completed
+	// (any status); sent over the window is the achieved rate.
+	MetricLoadSent = "load.sent"
+	// MetricLoadErrors counts measured-window requests that failed:
+	// transport errors plus any non-2xx envelope.
+	MetricLoadErrors = "load.errors"
+	// MetricLoadLatencyEmbedding/Translate/KNN/Infer are the
+	// per-endpoint open-loop latency histograms (seconds, measured from
+	// each request's scheduled arrival time so queueing delay counts).
+	MetricLoadLatencyEmbedding = "load.latency_seconds.embedding"
+	MetricLoadLatencyTranslate = "load.latency_seconds.translate"
+	MetricLoadLatencyKNN       = "load.latency_seconds.knn"
+	MetricLoadLatencyInfer     = "load.latency_seconds.infer"
 )
 
 // Declared span names. Tracer.Start sites with a constant name must use
@@ -70,4 +92,12 @@ const (
 	// histogram instead of spans: the span log is append-only and sized
 	// for bounded training runs, not an unbounded request stream.
 	SpanServeSelfcheck = "serve.selfcheck"
+	// SpanLoadWarmup / SpanLoadMeasure cover the load harness's warmup
+	// and measured windows; SpanLoadReload covers one mid-run
+	// POST /admin/reload issued by the harness. Per-request timing goes
+	// to the load.latency_seconds.* histograms, not spans, for the same
+	// reason as serving.
+	SpanLoadWarmup  = "load.warmup"
+	SpanLoadMeasure = "load.measure"
+	SpanLoadReload  = "load.reload"
 )

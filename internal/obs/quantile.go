@@ -1,0 +1,76 @@
+package obs
+
+import "math"
+
+// Quantile returns an interpolated estimate of the q-quantile (q in
+// [0, 1]; out-of-range values are clamped) from the snapshot's bucket
+// counts. The estimate assumes samples are uniformly distributed within
+// each bucket and interpolates linearly between the bucket's bounds —
+// the same model Prometheus' histogram_quantile uses — so its error is
+// bounded by the bucket width around the true quantile.
+//
+// Edge cases, pinned by TestQuantile*:
+//   - An empty histogram (Count == 0) returns NaN: there is no sample
+//     to estimate from, and callers must not confuse "no data" with a
+//     zero-latency result.
+//   - Mass in the first bucket interpolates from min(0, bound) to the
+//     bucket's upper bound; for latency-style non-negative histograms
+//     that is the [0, bounds[0]] range.
+//   - Mass in the overflow bucket cannot be interpolated (the bucket
+//     has no upper bound), so any quantile landing there returns the
+//     highest finite bound — a deliberate underestimate that callers
+//     should read as "at least this much"; pair it with an explicit
+//     max when the tail matters.
+//   - A histogram registered with no bounds has a single (overflow)
+//     bucket and no interpolation anchor at all; it returns the mean
+//     (Sum/Count), the only location estimate the data supports.
+func (s HistSnapshot) Quantile(q float64) float64 {
+	if s.Count <= 0 || len(s.Counts) == 0 {
+		return math.NaN()
+	}
+	if len(s.Bounds) == 0 {
+		return s.Sum / float64(s.Count)
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	var cum float64
+	for i, c := range s.Counts {
+		if c == 0 {
+			continue
+		}
+		below := cum
+		cum += float64(c)
+		if cum < rank {
+			continue
+		}
+		if i >= len(s.Bounds) {
+			// Overflow bucket: no upper bound to interpolate toward.
+			return s.Bounds[len(s.Bounds)-1]
+		}
+		upper := s.Bounds[i]
+		lower := 0.0
+		if i > 0 {
+			lower = s.Bounds[i-1]
+		} else if upper < 0 {
+			// All-negative first bucket: zero is above the bucket, so
+			// there is no interpolation anchor below it.
+			lower = upper
+		}
+		frac := 0.0
+		if c > 0 {
+			frac = (rank - below) / float64(c)
+		}
+		if frac < 0 {
+			frac = 0
+		}
+		return lower + (upper-lower)*frac
+	}
+	// Unreachable with consistent counts (cum == Count >= rank by the
+	// last bucket); guard for skewed concurrent snapshots.
+	return s.Bounds[len(s.Bounds)-1]
+}

@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+// uniformHist builds a histogram with the given bounds and n samples
+// spread uniformly over (0, top].
+func uniformHist(bounds []float64, n int, top float64) *Histogram {
+	h := newHistogram(bounds)
+	for i := 1; i <= n; i++ {
+		h.Observe(top * float64(i) / float64(n))
+	}
+	return h
+}
+
+func TestQuantileUniform(t *testing.T) {
+	// 100 samples uniform over (0, 0.5] with bucket width 0.1: 20 per
+	// bucket, so interpolated quantiles are exact for the uniform model.
+	s := uniformHist([]float64{0.1, 0.2, 0.3, 0.4, 0.5}, 100, 0.5).Snapshot()
+	cases := []struct{ q, want float64 }{
+		{0.5, 0.25},
+		{0.9, 0.45},
+		{0.99, 0.495},
+		{1.0, 0.5},
+	}
+	for _, tc := range cases {
+		if got := s.Quantile(tc.q); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("Quantile(%v) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+}
+
+func TestQuantileSingleBucket(t *testing.T) {
+	// Every sample lands in the (0.2, 0.3] bucket: estimates must stay
+	// inside that bucket and spread linearly across it.
+	h := newHistogram([]float64{0.1, 0.2, 0.3, 0.4, 0.5})
+	for i := 0; i < 10; i++ {
+		h.Observe(0.25)
+	}
+	s := h.Snapshot()
+	if got := s.Quantile(0.5); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("p50 = %v, want 0.25", got)
+	}
+	if got := s.Quantile(0.99); math.Abs(got-0.299) > 1e-12 {
+		t.Errorf("p99 = %v, want 0.299", got)
+	}
+	if lo, hi := s.Quantile(0), s.Quantile(1); lo < 0.2 || hi > 0.3 {
+		t.Errorf("estimates [%v, %v] escape the (0.2, 0.3] bucket", lo, hi)
+	}
+}
+
+func TestQuantileOverflowBucket(t *testing.T) {
+	// Samples beyond the last bound land in the unbounded overflow
+	// bucket; quantiles there report the highest finite bound.
+	h := newHistogram([]float64{0.1, 0.5})
+	h.Observe(10)
+	h.Observe(20)
+	s := h.Snapshot()
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := s.Quantile(q); got != 0.5 {
+			t.Errorf("Quantile(%v) = %v, want 0.5 (last finite bound)", q, got)
+		}
+	}
+	// Mixed mass: the median stays interpolated, only the tail clips.
+	h2 := newHistogram([]float64{0.1, 0.5})
+	for i := 0; i < 9; i++ {
+		h2.Observe(0.05)
+	}
+	h2.Observe(10)
+	s2 := h2.Snapshot()
+	if got := s2.Quantile(0.5); got <= 0 || got > 0.1 {
+		t.Errorf("p50 = %v, want within (0, 0.1]", got)
+	}
+	if got := s2.Quantile(0.99); got != 0.5 {
+		t.Errorf("p99 = %v, want 0.5 (overflow clip)", got)
+	}
+}
+
+func TestQuantileEmptyAndNoBounds(t *testing.T) {
+	if got := newHistogram([]float64{1, 2}).Snapshot().Quantile(0.5); !math.IsNaN(got) {
+		t.Errorf("empty histogram Quantile = %v, want NaN", got)
+	}
+	// A boundless histogram has one overflow bucket and no anchor: the
+	// mean is the only supportable estimate.
+	h := newHistogram(nil)
+	h.Observe(2)
+	h.Observe(4)
+	if got := h.Snapshot().Quantile(0.5); got != 3 {
+		t.Errorf("boundless Quantile = %v, want mean 3", got)
+	}
+}
+
+func TestQuantileClampsAndFirstBucket(t *testing.T) {
+	h := newHistogram([]float64{1})
+	h.Observe(0.5)
+	s := h.Snapshot()
+	// The first bucket interpolates from 0, and out-of-range q clamps.
+	if got := s.Quantile(0.5); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("p50 = %v, want 0.5", got)
+	}
+	if got := s.Quantile(-3); got != s.Quantile(0) {
+		t.Errorf("Quantile(-3) = %v, want clamp to Quantile(0) = %v", got, s.Quantile(0))
+	}
+	if got := s.Quantile(7); got != s.Quantile(1) {
+		t.Errorf("Quantile(7) = %v, want clamp to Quantile(1) = %v", got, s.Quantile(1))
+	}
+}
+
+func TestQuantileMonotone(t *testing.T) {
+	s := uniformHist([]float64{0.01, 0.05, 0.1, 0.25, 1, 2.5}, 137, 3).Snapshot()
+	prev := math.Inf(-1)
+	for q := 0.0; q <= 1.0; q += 0.01 {
+		got := s.Quantile(q)
+		if got < prev {
+			t.Fatalf("Quantile(%v) = %v < previous %v; quantiles must be monotone", q, got, prev)
+		}
+		prev = got
+	}
+}

@@ -22,8 +22,9 @@ type coalescer struct {
 	inflight map[string]*inflightCall
 	sem      chan struct{}
 
-	depth atomic.Int64
-	gauge *obs.Gauge // serve.queue_depth; nil-safe per obs contract
+	depth     atomic.Int64
+	gauge     *obs.Gauge   // serve.queue_depth; nil-safe per obs contract
+	coalesced *obs.Counter // serve.coalesced; nil-safe per obs contract
 }
 
 // inflightCall is one leader execution that duplicates wait on.
@@ -34,15 +35,18 @@ type inflightCall struct {
 }
 
 // newCoalescer builds a coalescer running at most workers computations
-// concurrently. workers < 1 is clamped to 1.
-func newCoalescer(workers int, gauge *obs.Gauge) *coalescer {
+// concurrently. workers < 1 is clamped to 1. coalesced, when non-nil,
+// counts callers that joined an in-flight leader instead of running
+// their own computation.
+func newCoalescer(workers int, gauge *obs.Gauge, coalesced *obs.Counter) *coalescer {
 	if workers < 1 {
 		workers = 1
 	}
 	return &coalescer{
-		inflight: map[string]*inflightCall{},
-		sem:      make(chan struct{}, workers),
-		gauge:    gauge,
+		inflight:  map[string]*inflightCall{},
+		sem:       make(chan struct{}, workers),
+		gauge:     gauge,
+		coalesced: coalesced,
 	}
 }
 
@@ -53,6 +57,7 @@ func (c *coalescer) do(key string, fn func() ([]float64, error)) ([]float64, err
 	c.mu.Lock()
 	if call, ok := c.inflight[key]; ok {
 		c.mu.Unlock()
+		c.coalesced.Add(1)
 		<-call.done
 		return call.val, call.err
 	}

@@ -1,0 +1,287 @@
+package serve
+
+import (
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// refLRU is an oracle implementation of a fixed-capacity LRU: a plain
+// recency-ordered slice, quadratic and obviously correct. The real lru
+// must agree with it on every get after any op sequence.
+type refLRU struct {
+	max  int
+	keys []string // index 0 = most recent
+	vals map[string][]float64
+}
+
+func newRefLRU(max int) *refLRU { return &refLRU{max: max, vals: map[string][]float64{}} }
+
+func (r *refLRU) touch(key string) {
+	for i, k := range r.keys {
+		if k == key {
+			r.keys = append(r.keys[:i], r.keys[i+1:]...)
+			break
+		}
+	}
+	r.keys = append([]string{key}, r.keys...)
+}
+
+func (r *refLRU) get(key string) ([]float64, bool) {
+	if r.max <= 0 {
+		return nil, false
+	}
+	v, ok := r.vals[key]
+	if ok {
+		r.touch(key)
+	}
+	return v, ok
+}
+
+func (r *refLRU) put(key string, val []float64) {
+	if r.max <= 0 {
+		return
+	}
+	if _, ok := r.vals[key]; ok {
+		r.vals[key] = val
+		r.touch(key)
+		return
+	}
+	r.vals[key] = val
+	r.touch(key)
+	if len(r.keys) > r.max {
+		evict := r.keys[len(r.keys)-1]
+		r.keys = r.keys[:len(r.keys)-1]
+		delete(r.vals, evict)
+	}
+}
+
+// TestLRUPropertyAgainstOracle drives the cache and the oracle through
+// the same long random op sequence and asserts after every op that the
+// cache never exceeds capacity and that every get agrees with the
+// oracle — put-then-get coherence, recency promotion and eviction order
+// all fall out of that agreement.
+func TestLRUPropertyAgainstOracle(t *testing.T) {
+	for _, capacity := range []int{1, 2, 3, 7, 16} {
+		capacity := capacity
+		t.Run(fmt.Sprintf("cap%d", capacity), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(42 + capacity)))
+			c := newLRU(capacity)
+			ref := newRefLRU(capacity)
+			keys := make([]string, capacity*3)
+			for i := range keys {
+				keys[i] = fmt.Sprintf("k%d", i)
+			}
+			for op := 0; op < 4000; op++ {
+				key := keys[rng.Intn(len(keys))]
+				if rng.Intn(2) == 0 {
+					val := []float64{float64(op)}
+					c.put(key, val)
+					ref.put(key, val)
+				} else {
+					got, gotOK := c.get(key)
+					want, wantOK := ref.get(key)
+					if gotOK != wantOK {
+						t.Fatalf("op %d: get(%q) present=%v, oracle says %v", op, key, gotOK, wantOK)
+					}
+					if gotOK && got[0] != want[0] {
+						t.Fatalf("op %d: get(%q) = %v, oracle says %v", op, key, got, want)
+					}
+				}
+				if n := c.len(); n > capacity {
+					t.Fatalf("op %d: len = %d exceeds capacity %d", op, n, capacity)
+				}
+			}
+		})
+	}
+}
+
+// TestLRUPerSnapshotIsolation pins the reload cache contract: each
+// snapshot owns its cache, so a hot reload starts cold and the old
+// snapshot's entries never leak into (or poison) the new generation.
+func TestLRUPerSnapshotIsolation(t *testing.T) {
+	sv, _ := newTestServer(t, Config{})
+	const target = "/v1/translate?node=A1&from=authorship&to=affiliation"
+	do := func() {
+		rec := httptest.NewRecorder()
+		sv.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, target, nil))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("%s: %d %s", target, rec.Code, rec.Body)
+		}
+	}
+	do()
+	oldSnap := sv.snap.Load()
+	if oldSnap.cache.len() != 1 {
+		t.Fatalf("pre-reload cache len = %d, want 1", oldSnap.cache.len())
+	}
+	if err := sv.Reload(); err != nil {
+		t.Fatal(err)
+	}
+	newSnap := sv.snap.Load()
+	if newSnap == oldSnap || newSnap.cache == oldSnap.cache {
+		t.Fatal("reload did not produce a fresh snapshot with its own cache")
+	}
+	if n := newSnap.cache.len(); n != 0 {
+		t.Fatalf("fresh snapshot cache len = %d, want 0 (must start cold)", n)
+	}
+	// The old snapshot's cache is untouched (in-flight requests keep
+	// using it), and serving against the new generation re-populates
+	// the new cache only.
+	do()
+	if oldSnap.cache.len() != 1 || newSnap.cache.len() != 1 {
+		t.Fatalf("cache lens after reload+request = old %d new %d, want 1 and 1",
+			oldSnap.cache.len(), newSnap.cache.len())
+	}
+}
+
+// TestCoalescerSingleFlightProperty asserts the core coalescer
+// invariant over many rounds and keys: per key, at most one upstream
+// execution is ever in flight, every waiter of that flight observes the
+// leader's exact slice (same backing array, not a copy), and a later
+// round re-executes rather than serving a stale result.
+func TestCoalescerSingleFlightProperty(t *testing.T) {
+	c := newCoalescer(4, nil, nil)
+	const rounds, numKeys, waiters = 5, 3, 8
+	for round := 0; round < rounds; round++ {
+		var execs [numKeys]atomic.Int64  // executions this round
+		var active [numKeys]atomic.Int64 // concurrently running fns
+		var wg sync.WaitGroup
+		results := make([][][]float64, numKeys)
+		for k := range results {
+			results[k] = make([][]float64, waiters)
+		}
+		for k := 0; k < numKeys; k++ {
+			for w := 0; w < waiters; w++ {
+				wg.Add(1)
+				go func(k, w int) {
+					defer wg.Done()
+					key := fmt.Sprintf("key-%d", k)
+					v, err := c.do(key, func() ([]float64, error) {
+						if n := active[k].Add(1); n != 1 {
+							t.Errorf("round %d key %d: %d concurrent executions in one flight", round, k, n)
+						}
+						execs[k].Add(1)
+						val := []float64{float64(round), float64(k)}
+						active[k].Add(-1)
+						return val, nil
+					})
+					if err != nil {
+						t.Error(err)
+					}
+					results[k][w] = v
+				}(k, w)
+			}
+		}
+		wg.Wait()
+		for k := 0; k < numKeys; k++ {
+			// Without a gate on the leader some waiters may arrive after
+			// the flight completes and start a new one — that is correct
+			// behaviour — but executions can never exceed the waiters and
+			// never be zero.
+			if n := execs[k].Load(); n < 1 || n > waiters {
+				t.Fatalf("round %d key %d: %d executions for %d waiters", round, k, n, waiters)
+			}
+			for w, v := range results[k] {
+				if len(v) != 2 || v[0] != float64(round) || v[1] != float64(k) {
+					t.Fatalf("round %d key %d waiter %d: got %v", round, k, w, v)
+				}
+			}
+		}
+	}
+}
+
+// TestCoalescerWaitersShareLeaderSlice gates the leader so every waiter
+// provably joins one flight, then asserts all of them received the
+// leader's identical bytes — the same backing array, byte for byte.
+func TestCoalescerWaitersShareLeaderSlice(t *testing.T) {
+	c := newCoalescer(2, nil, nil)
+	var execs atomic.Int64
+	release := make(chan struct{})
+	const waiters = 16
+	results := make([][]float64, waiters)
+	var wg sync.WaitGroup
+	for w := 0; w < waiters; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			v, err := c.do("shared", func() ([]float64, error) {
+				execs.Add(1)
+				<-release
+				return []float64{3.25, -1.5, 0.125}, nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			results[w] = v
+		}(w)
+	}
+	for execs.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(5 * time.Millisecond) // let the waiters pile onto the flight
+	close(release)
+	wg.Wait()
+	if n := execs.Load(); n != 1 {
+		t.Fatalf("%d executions, want 1", n)
+	}
+	lead := results[0]
+	for w, v := range results {
+		if &v[0] != &lead[0] {
+			t.Fatalf("waiter %d got a copy, not the leader's slice", w)
+		}
+		for i := range v {
+			if v[i] != lead[i] {
+				t.Fatalf("waiter %d observed different bytes: %v vs %v", w, v, lead)
+			}
+		}
+	}
+}
+
+// TestCoalescerErrorFansOut asserts a leader's error reaches every
+// waiter of the flight and is not cached: the next call re-executes.
+func TestCoalescerErrorFansOut(t *testing.T) {
+	c := newCoalescer(2, nil, nil)
+	var execs atomic.Int64
+	release := make(chan struct{})
+	wantErr := fmt.Errorf("upstream exploded")
+	const waiters = 6
+	var wg sync.WaitGroup
+	errs := make([]error, waiters)
+	for w := 0; w < waiters; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			_, err := c.do("err-key", func() ([]float64, error) {
+				execs.Add(1)
+				<-release
+				return nil, wantErr
+			})
+			errs[w] = err
+		}(w)
+	}
+	for execs.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(5 * time.Millisecond)
+	close(release)
+	wg.Wait()
+	if n := execs.Load(); n != 1 {
+		t.Fatalf("%d executions, want 1", n)
+	}
+	for w, err := range errs {
+		if err != wantErr {
+			t.Fatalf("waiter %d error = %v, want %v", w, err, wantErr)
+		}
+	}
+	// Errors must not stick: a fresh call for the same key runs again
+	// and succeeds.
+	v, err := c.do("err-key", func() ([]float64, error) { return []float64{1}, nil })
+	if err != nil || len(v) != 1 || v[0] != 1 {
+		t.Fatalf("post-error call = %v, %v; want [1], nil", v, err)
+	}
+}

@@ -147,7 +147,8 @@ func TestLRU(t *testing.T) {
 }
 
 func TestCoalescerDedupes(t *testing.T) {
-	c := newCoalescer(4, nil)
+	coalesced := &obs.Counter{}
+	c := newCoalescer(4, nil, coalesced)
 	var calls atomic.Int64
 	release := make(chan struct{})
 	const waiters = 8
@@ -183,11 +184,14 @@ func TestCoalescerDedupes(t *testing.T) {
 			t.Fatalf("waiter %d got %v", i, v)
 		}
 	}
+	if n := coalesced.Value(); n != waiters-1 {
+		t.Fatalf("coalesced counter = %d, want %d (every non-leader waiter)", n, waiters-1)
+	}
 }
 
 func TestCoalescerBoundsConcurrency(t *testing.T) {
 	const workers = 2
-	c := newCoalescer(workers, nil)
+	c := newCoalescer(workers, nil, nil)
 	var cur, peak atomic.Int64
 	var wg sync.WaitGroup
 	for i := 0; i < 8; i++ {

@@ -108,7 +108,8 @@ func New(cfg Config) (*Server, error) {
 			[]float64{0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5}),
 		genGauge: run.Reg.Gauge(obs.MetricServeSnapshotGen),
 	}
-	sv.coal = newCoalescer(cfg.TranslateWorkers, run.Reg.Gauge(obs.MetricServeQueueDepth))
+	sv.coal = newCoalescer(cfg.TranslateWorkers,
+		run.Reg.Gauge(obs.MetricServeQueueDepth), run.Reg.Counter(obs.MetricServeCoalesced))
 	snap, err := loadSnapshot(cfg.GraphPath, cfg.ModelPath, 1, cfg.CacheSize)
 	if err != nil {
 		return nil, err
