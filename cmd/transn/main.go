@@ -254,7 +254,8 @@ func cmdTrain(args []string) error {
 
 // cmdCheckReport validates a telemetry report written by `train
 // -report` / `benchrun -report`, a diagnostics document written by
-// `diagnose -output`, a lint document written by `transnlint -json`, or
+// `diagnose -output`, a lint document written by `transnlint -json`, a
+// trace-ring dump fetched from transnserve /debug/requests, or
 // a serving-bench report written by `transnload -report`, against its
 // schema — the file's own schema field picks the validator. CI's smoke
 // jobs run this on the artifacts they upload.
@@ -285,6 +286,13 @@ func cmdCheckReport(args []string) error {
 			return fmt.Errorf("checkreport: %s: %w", *report, err)
 		}
 		fmt.Printf("%s: valid %s document\n", *report, lint.Schema)
+		return nil
+	}
+	if peek.Schema == obs.TraceDumpSchema {
+		if err := obs.ValidateTraceDump(data); err != nil {
+			return fmt.Errorf("checkreport: %s: %w", *report, err)
+		}
+		fmt.Printf("%s: valid %s dump\n", *report, obs.TraceDumpSchema)
 		return nil
 	}
 	if peek.Schema == load.BenchSchema {

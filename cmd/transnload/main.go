@@ -13,7 +13,14 @@
 //	transnload -target http://127.0.0.1:8080 -graph network.tsv \
 //	    [-rate 200] [-duration 10s] [-warmup 2s] \
 //	    [-mix embedding=4,translate=3,knn=2,infer=1] [-seed 1] \
-//	    [-reloads 0] [-timeout 10s] [-report bench.json] [-gate slo.json]
+//	    [-reloads 0] [-timeout 10s] [-report bench.json] [-gate slo.json] \
+//	    [-slow 10]
+//
+// Every request carries a deterministic X-Transn-Request-Id; after the
+// run the harness fetches the server's /debug/requests and /debug/slow
+// trace rings and joins them against its own slowest -slow observations,
+// so the report's tail section attributes p99 latency to server-side
+// stages (cache, coalesce wait, forward pass, ...).
 //
 // Exit status: 0 on a clean run (and a passing gate), 1 on harness
 // errors, 2 on gate violations.
@@ -51,6 +58,7 @@ func run(args []string) (int, error) {
 	reportOut := fs.String("report", "", "write the transn.bench.serve/v1 report JSON to this path (- or empty: stdout)")
 	gatePath := fs.String("gate", "", "SLO budget JSON; violations print to stderr and exit 2")
 	name := fs.String("name", "load", "run name recorded in the report")
+	slowN := fs.Int("slow", 10, "join the N slowest requests against server-side traces in the report's tail section (negative disables)")
 	fs.Parse(args)
 	if *target == "" || *graphPath == "" {
 		return 1, fmt.Errorf("-target and -graph are required")
@@ -102,6 +110,7 @@ func run(args []string) (int, error) {
 		Reloads:  *reloads,
 		Timeout:  *timeout,
 		Name:     *name,
+		SlowN:    *slowN,
 	}, inv)
 	if err != nil {
 		return 1, err
@@ -121,6 +130,14 @@ func run(args []string) (int, error) {
 	}
 	fmt.Fprintf(os.Stderr, "transnload: %d sent, %d errors, achieved %.1f/%.1f req/s, %d/%d reloads ok\n",
 		rep.Sent, rep.Errors, rep.AchievedRate, rep.OfferedRate, rep.ReloadsOK, rep.Reloads)
+	if rep.Tail != nil {
+		if rep.Tail.Joined > 0 {
+			fmt.Fprintf(os.Stderr, "transnload: tail: %d/%d slowest requests joined to server traces, dominant stage: %s\n",
+				rep.Tail.Joined, len(rep.Tail.Requests), rep.Tail.DominantStage)
+		} else {
+			fmt.Fprintf(os.Stderr, "transnload: tail: no server traces joined (is tracing enabled on the target?)\n")
+		}
+	}
 
 	if gate != nil {
 		if violations := gate.Check(rep); len(violations) > 0 {

@@ -5,14 +5,24 @@
 // snapshot from the same paths without dropping a request; SIGINT and
 // SIGTERM drain gracefully. See API.md for the route reference.
 //
+// Every request is traced through its handling stages (decode,
+// snapshot pin, cache, coalesce wait, forward, encode); sampled and
+// slow traces land in in-memory rings served at /debug/requests and
+// /debug/slow as transn.trace.serve/v1 dumps, and -log emits
+// structured JSON access/slow log lines. -trace-rate -1 disables
+// tracing entirely (the disabled path allocates nothing).
+//
 // Usage:
 //
-//	transnserve -graph network.tsv -model model.gob [-addr :8080]
+//	transnserve -graph network.tsv -model model.gob [-addr :8080] \
+//	    [-trace-head 64] [-trace-rate 64] [-trace-ring 256] \
+//	    [-slow-ring 64] [-slow-threshold 250ms] [-log]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"syscall"
@@ -38,19 +48,36 @@ func run(args []string) error {
 	timeout := fs.Duration("timeout", 0, "per-request deadline for /v1 endpoints (0 = default 10s)")
 	drain := fs.Duration("drain", 0, "max wait for in-flight requests on shutdown (0 = default 10s)")
 	maxK := fs.Int("maxk", 0, "cap on the k parameter of /v1/knn (0 = default 100)")
+	traceHead := fs.Int("trace-head", 0, "always sample the first N requests (0 = default 64, negative disables head sampling)")
+	traceRate := fs.Int("trace-rate", 0, "sample every Nth request after the head (0 = default 64, 1 = all, negative disables tracing entirely)")
+	traceRing := fs.Int("trace-ring", 0, "sampled-trace ring capacity served at /debug/requests (0 = default 256)")
+	slowRing := fs.Int("slow-ring", 0, "slow-trace ring capacity served at /debug/slow (0 = default 64)")
+	slowThreshold := fs.Duration("slow-threshold", 0, "requests at or above this duration are always kept and logged as slow (0 = default 250ms, negative disables)")
+	logJSON := fs.Bool("log", false, "emit structured JSON access/slow log lines on stderr")
 	fs.Parse(args)
 	if *graphPath == "" || *modelPath == "" {
 		return fmt.Errorf("-graph and -model are required")
 	}
 
+	var logger *slog.Logger
+	if *logJSON {
+		logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	}
 	sv, err := serve.New(serve.Config{
-		GraphPath:        *graphPath,
-		ModelPath:        *modelPath,
-		CacheSize:        *cacheSize,
-		TranslateWorkers: *workers,
-		RequestTimeout:   *timeout,
-		DrainTimeout:     *drain,
-		MaxK:             *maxK,
+		GraphPath:          *graphPath,
+		ModelPath:          *modelPath,
+		CacheSize:          *cacheSize,
+		TranslateWorkers:   *workers,
+		RequestTimeout:     *timeout,
+		DrainTimeout:       *drain,
+		MaxK:               *maxK,
+		TraceDisabled:      *traceRate < 0,
+		TraceSampleHead:    *traceHead,
+		TraceSampleRate:    *traceRate,
+		TraceRingSize:      *traceRing,
+		TraceSlowRingSize:  *slowRing,
+		TraceSlowThreshold: *slowThreshold,
+		Logger:             logger,
 	})
 	if err != nil {
 		return err

@@ -92,6 +92,15 @@ const (
 	// CodeSchemaFindingCode: a constant diag.Finding Code outside the
 	// declared Code* constant set.
 	CodeSchemaFindingCode = "schema.finding-code"
+	// CodeSchemaTraceStage: a constant stage name passed to
+	// ReqTrace.StartStage/EndStage that is not a declared obs
+	// TraceStage constant — the transn.trace.serve/v1 stage vocabulary.
+	CodeSchemaTraceStage = "schema.trace-stage"
+	// CodeSchemaLogKey: a constant attribute key handed to a log/slog
+	// attr constructor that is not a declared obs LogKey* constant (or
+	// TraceStage value) — structured-log field names are a published
+	// schema consumers grep and parse.
+	CodeSchemaLogKey = "schema.log-key"
 
 	// CodeDocMissing: an exported top-level symbol (or a package clause)
 	// without a doc comment — the public API surface stays documented,

@@ -15,11 +15,13 @@ import (
 type schemaSets struct {
 	obsPath, diagPath string
 
-	metrics set // obs Metric* constants: registry metric names
-	spans   set // obs Span* constants (+ stage values): tracer span names
-	stages  set // obs Stage-typed constants: TrainEvent stages
-	levels  set // obs Level* constants: TrainEvent diagnostic levels
-	codes   set // diag Code* constants: finding codes
+	metrics     set // obs Metric* constants: registry metric names
+	spans       set // obs Span* constants (+ stage values): tracer span names
+	stages      set // obs Stage-typed constants: TrainEvent stages
+	levels      set // obs Level* constants: TrainEvent diagnostic levels
+	codes       set // diag Code* constants: finding codes
+	traceStages set // obs TraceStage-typed constants: request trace stages
+	logKeys     set // obs LogKey* constants: structured-log field names
 }
 
 type set map[string]bool
@@ -73,6 +75,7 @@ func collectSchemaSets(m *Module, opts Options) *schemaSets {
 	sets := &schemaSets{
 		obsPath: opts.SchemaObsPkg, diagPath: opts.SchemaDiagPkg,
 		metrics: set{}, spans: set{}, stages: set{}, levels: set{}, codes: set{},
+		traceStages: set{}, logKeys: set{},
 	}
 	harvest := func(pkg *Package, prefix string, dst set, typeName string) {
 		if pkg == nil || pkg.Types == nil {
@@ -99,6 +102,8 @@ func collectSchemaSets(m *Module, opts Options) *schemaSets {
 	harvest(obs, "Span", sets.spans, "")
 	harvest(obs, "", sets.stages, "Stage")
 	harvest(obs, "Level", sets.levels, "")
+	harvest(obs, "", sets.traceStages, "TraceStage")
+	harvest(obs, "LogKey", sets.logKeys, "")
 	harvest(diag, "Code", sets.codes, "")
 	// Every stage string is also a valid span name: the tracer times
 	// the same Algorithm 1 phases the event stream labels.
@@ -132,7 +137,8 @@ func namedIn(t types.Type, pkgPath, name string) bool {
 }
 
 // checkSchemaCall validates constant names at Registry.Counter/Gauge/
-// Histogram and Tracer.Start call sites.
+// Histogram, Tracer.Start and ReqTrace.StartStage/EndStage call sites,
+// plus attribute keys at log/slog attr-constructor call sites.
 func checkSchemaCall(m *Module, pkg *Package, call *ast.CallExpr, sets *schemaSets, report func(Finding)) {
 	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
 	if !ok || len(call.Args) == 0 {
@@ -140,6 +146,7 @@ func checkSchemaCall(m *Module, pkg *Package, call *ast.CallExpr, sets *schemaSe
 	}
 	selection, ok := pkg.Info.Selections[sel]
 	if !ok || selection.Kind() != types.MethodVal {
+		checkSlogKey(m, pkg, call, sel, sets, report)
 		return
 	}
 	recv := selection.Recv()
@@ -155,6 +162,40 @@ func checkSchemaCall(m *Module, pkg *Package, call *ast.CallExpr, sets *schemaSe
 			report(m.finding(CodeSchemaSpan, call.Args[0],
 				"span name %q is not a declared Span* constant or Stage value (known: %s)", name, sets.spans.sorted()))
 		}
+	case namedIn(recv, sets.obsPath, "ReqTrace") && (method == "StartStage" || method == "EndStage"):
+		if name, ok := constString(pkg, call.Args[0]); ok && !sets.traceStages[name] {
+			report(m.finding(CodeSchemaTraceStage, call.Args[0],
+				"trace stage %q is not a declared TraceStage constant (known: %s); the transn.trace.serve/v1 stage vocabulary is fixed", name, sets.traceStages.sorted()))
+		}
+	}
+}
+
+// checkSlogKey validates the constant first argument of log/slog attr
+// constructors (slog.String, slog.Int, slog.Group, ...): structured-log
+// field names must be declared obs LogKey* constants or TraceStage
+// values (per-stage timings appear as keys in the slow-log stage
+// group). Dynamic keys are exempt, and trees that declare no LogKey*
+// set (no structured-log schema) are not checked.
+func checkSlogKey(m *Module, pkg *Package, call *ast.CallExpr, sel *ast.SelectorExpr, sets *schemaSets, report func(Finding)) {
+	if len(sets.logKeys) == 0 {
+		return
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return
+	}
+	pn, ok := pkg.Info.Uses[id].(*types.PkgName)
+	if !ok || pn.Imported().Path() != "log/slog" {
+		return
+	}
+	switch sel.Sel.Name {
+	case "String", "Int", "Int64", "Uint64", "Float64", "Bool", "Duration", "Time", "Any", "Group":
+	default:
+		return
+	}
+	if name, ok := constString(pkg, call.Args[0]); ok && !sets.logKeys[name] && !sets.traceStages[name] {
+		report(m.finding(CodeSchemaLogKey, call.Args[0],
+			"log attribute key %q is not a declared LogKey* constant or TraceStage value (known: %s); structured-log field names are schema", name, sets.logKeys.sorted()))
 	}
 }
 

@@ -38,3 +38,22 @@ type TrainEvent struct {
 type Report struct {
 	Counters map[string]int64
 }
+
+// TraceStage labels one phase of request handling.
+type TraceStage string
+
+// TraceStageDecode is the only declared trace stage in the fixture.
+const TraceStageDecode TraceStage = "decode"
+
+// LogKeyRequestID is the only declared structured-log key in the
+// fixture.
+const LogKeyRequestID = "request_id"
+
+// ReqTrace is one request's in-flight trace.
+type ReqTrace struct{}
+
+// StartStage opens the named stage.
+func (tr *ReqTrace) StartStage(s TraceStage) {}
+
+// EndStage closes the named stage.
+func (tr *ReqTrace) EndStage(s TraceStage) {}

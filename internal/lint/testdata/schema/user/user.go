@@ -4,6 +4,8 @@
 package user
 
 import (
+	"log/slog"
+
 	"fixture/diag"
 	"fixture/obs"
 )
@@ -24,4 +26,16 @@ func use(r *obs.Registry, t *obs.Tracer, rep obs.Report, dynamic string) {
 	}
 	_ = diag.Finding{Code: diag.CodeGood}
 	_ = diag.Finding{Code: "embedding.bad"} // want schema.finding-code
+
+	tr := &obs.ReqTrace{}
+	tr.StartStage(obs.TraceStageDecode)
+	tr.StartStage("decod") // want schema.trace-stage
+	tr.EndStage(obs.TraceStageDecode)
+	tr.EndStage("froward") // want schema.trace-stage
+
+	_ = slog.String(obs.LogKeyRequestID, dynamic)
+	_ = slog.String("requist_id", dynamic) // want schema.log-key
+	_ = slog.Float64(string(obs.TraceStageDecode), 1)
+	_ = slog.Int("statas", 200) // want schema.log-key
+	_ = slog.Bool(dynamic, true)
 }

@@ -89,7 +89,12 @@ func startServer(t testing.TB) (string, *graph.Graph) {
 	if err := mf.Close(); err != nil {
 		t.Fatal(err)
 	}
-	sv, err := serve.New(serve.Config{GraphPath: gp, ModelPath: mp, CacheSize: 64, TranslateWorkers: 2})
+	// Sample every request into a ring big enough to hold the whole
+	// run, so tail joins are deterministic.
+	sv, err := serve.New(serve.Config{
+		GraphPath: gp, ModelPath: mp, CacheSize: 64, TranslateWorkers: 2,
+		TraceSampleRate: 1, TraceRingSize: 1 << 14,
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -265,6 +270,29 @@ func TestRunEndToEnd(t *testing.T) {
 	}
 	if rep.Server.CacheHits+rep.Server.CacheMisses == 0 {
 		t.Fatal("no cache traffic recorded on the server")
+	}
+
+	// Tail attribution: with the server sampling every request into a
+	// run-sized ring, every slowest-N observation must join, the stage
+	// totals must be non-empty and a dominant stage must be named.
+	if rep.Tail == nil {
+		t.Fatal("no tail section")
+	}
+	if len(rep.Tail.Requests) == 0 || rep.Tail.Joined != len(rep.Tail.Requests) {
+		t.Fatalf("tail joined %d of %d slowest requests, want all",
+			rep.Tail.Joined, len(rep.Tail.Requests))
+	}
+	if len(rep.Tail.StageTotals) == 0 || rep.Tail.DominantStage == "" {
+		t.Fatalf("tail lacks stage attribution: %+v", rep.Tail)
+	}
+	for i, tr := range rep.Tail.Requests {
+		if !tr.Joined || tr.ServerSeconds <= 0 || len(tr.Stages) == 0 {
+			t.Fatalf("tail request %d incomplete: %+v", i, tr)
+		}
+		if tr.ServerSeconds > tr.ClientSeconds+0.001 {
+			t.Fatalf("tail request %d: server %vs exceeds client %vs",
+				i, tr.ServerSeconds, tr.ClientSeconds)
+		}
 	}
 
 	// The gate passes with sane budgets and trips on an impossible one —

@@ -121,6 +121,13 @@ type Report struct {
 	// Server is the /metrics delta over the window; nil when the scrape
 	// failed (the run still reports client-side numbers).
 	Server *ServerStats `json:"server,omitempty"`
+
+	// Tail is the slowest-N client observations joined against the
+	// server's trace rings, with per-stage attribution. Nil when the
+	// tail was disabled (SlowN < 0) or nothing was measured; present
+	// with Joined == 0 when the server kept no traces (tracing
+	// disabled or the run's IDs aged out of the rings).
+	Tail *TailStats `json:"tail,omitempty"`
 }
 
 // WriteReport writes the report as indented JSON with a trailing
@@ -249,6 +256,84 @@ func Validate(data []byte) error {
 		if s.CacheHitRate < 0 || s.CacheHitRate > 1 {
 			return fmt.Errorf("server cache_hit_rate = %v, want within [0,1]", s.CacheHitRate)
 		}
+	}
+	if rep.Tail != nil {
+		if err := validateTail(rep.Tail, known); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// validateTail checks the report's tail section: slowest-first ordering,
+// join accounting, known endpoint and stage names, finite values.
+func validateTail(tail *TailStats, knownEndpoints map[string]bool) error {
+	if tail.SlowestN < 1 {
+		return fmt.Errorf("tail slowest_n = %d, want >= 1", tail.SlowestN)
+	}
+	if len(tail.Requests) > tail.SlowestN {
+		return fmt.Errorf("tail holds %d requests over slowest_n %d", len(tail.Requests), tail.SlowestN)
+	}
+	if len(tail.Requests) == 0 {
+		return fmt.Errorf("tail section present but has no requests")
+	}
+	knownStages := map[string]bool{}
+	for _, s := range obs.TraceStages() {
+		knownStages[string(s)] = true
+	}
+	joined := 0
+	prev := math.Inf(1)
+	for i, r := range tail.Requests {
+		if r.ID == "" {
+			return fmt.Errorf("tail request %d has an empty id", i)
+		}
+		if !knownEndpoints[r.Endpoint] {
+			return fmt.Errorf("tail request %d (%s): unknown endpoint %q", i, r.ID, r.Endpoint)
+		}
+		for _, v := range []struct {
+			label string
+			val   float64
+		}{{"client_seconds", r.ClientSeconds}, {"server_seconds", r.ServerSeconds}} {
+			if math.IsNaN(v.val) || math.IsInf(v.val, 0) || v.val < 0 {
+				return fmt.Errorf("tail request %d (%s): %s = %v, want finite and non-negative",
+					i, r.ID, v.label, v.val)
+			}
+		}
+		if r.ClientSeconds > prev {
+			return fmt.Errorf("tail requests not sorted slowest-first at index %d", i)
+		}
+		prev = r.ClientSeconds
+		if r.Joined {
+			joined++
+		}
+		for name, sec := range r.Stages {
+			if !knownStages[name] {
+				return fmt.Errorf("tail request %d (%s): unknown stage %q", i, r.ID, name)
+			}
+			if math.IsNaN(sec) || math.IsInf(sec, 0) || sec < 0 {
+				return fmt.Errorf("tail request %d (%s): stage %q = %v", i, r.ID, name, sec)
+			}
+		}
+	}
+	if joined != tail.Joined {
+		return fmt.Errorf("tail joined = %d but %d requests are marked joined", tail.Joined, joined)
+	}
+	if tail.Joined > 0 && len(tail.StageTotals) == 0 {
+		return fmt.Errorf("tail joined %d requests but has no stage_totals", tail.Joined)
+	}
+	for name, sec := range tail.StageTotals {
+		if !knownStages[name] {
+			return fmt.Errorf("tail stage_totals has unknown stage %q", name)
+		}
+		if math.IsNaN(sec) || math.IsInf(sec, 0) || sec < 0 {
+			return fmt.Errorf("tail stage_totals[%q] = %v", name, sec)
+		}
+	}
+	if tail.DominantStage != "" && !knownStages[tail.DominantStage] {
+		return fmt.Errorf("tail dominant_stage %q is not a known stage", tail.DominantStage)
+	}
+	if tail.Joined > 0 && tail.DominantStage == "" {
+		return fmt.Errorf("tail joined %d requests but dominant_stage is empty", tail.Joined)
 	}
 	return nil
 }

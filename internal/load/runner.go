@@ -38,6 +38,10 @@ type Profile struct {
 	Timeout time.Duration
 	// Name labels the report; empty means "load".
 	Name string
+	// SlowN is how many of the slowest measured requests to join
+	// against the server's trace rings for the report's tail section.
+	// 0 means the default (10); negative disables the tail section.
+	SlowN int
 }
 
 // withDefaults fills zero-value fields with their documented defaults.
@@ -50,6 +54,9 @@ func (p Profile) withDefaults() Profile {
 	}
 	if p.Name == "" {
 		p.Name = "load"
+	}
+	if p.SlowN == 0 {
+		p.SlowN = 10
 	}
 	return p
 }
@@ -79,6 +86,7 @@ func latencyMetric(ep Endpoint) string {
 // schedule: when to fire (offset from run start) and what to send.
 type scheduledReq struct {
 	at       time.Duration
+	id       string // correlation ID sent as X-Transn-Request-Id
 	ep       Endpoint
 	method   string
 	target   string
@@ -88,6 +96,7 @@ type scheduledReq struct {
 
 // result is what a request goroutine hands the collector.
 type result struct {
+	id        string
 	ep        Endpoint
 	latency   time.Duration // from the *scheduled* instant to response
 	completed time.Duration // completion offset from run start
@@ -149,7 +158,10 @@ func Run(p Profile, inv *Inventory) (*Report, error) {
 	for i, at := range offsets {
 		ep := p.Mix.pick(work)
 		method, tgt, body := inv.request(work, ep)
-		sched[i] = scheduledReq{at: at, ep: ep, method: method, target: tgt,
+		// Deterministic correlation IDs: the same profile replays the
+		// same ID stream, so tail joins are reproducible run to run.
+		sched[i] = scheduledReq{at: at, id: fmt.Sprintf("load%d-%06d", p.Seed, i),
+			ep: ep, method: method, target: tgt,
 			body: body, measured: at >= p.Warmup}
 	}
 
@@ -170,7 +182,7 @@ func Run(p Profile, inv *Inventory) (*Report, error) {
 	// shard-local histograms and max/sum tracking need no locks.
 	results := make(chan result, 256)
 	collectDone := make(chan collectOut, 1)
-	go collect(results, aggs, window, collectDone)
+	go collect(results, aggs, window, p.SlowN, collectDone)
 
 	reloadDone := make(chan reloadOut, 1)
 	start := time.Now()
@@ -262,6 +274,7 @@ func Run(p Profile, inv *Inventory) (*Report, error) {
 	if before != nil && after != nil {
 		rep.Server = serverDelta(before, after)
 	}
+	rep.Tail = buildTail(p.SlowN, out.slowest, fetchServerTraces(client, target))
 	return rep, nil
 }
 
@@ -270,6 +283,7 @@ type collectOut struct {
 	sent, ok, errors  int64
 	completedInWindow int64
 	byCode            map[string]int64
+	slowest           []result // the SlowN slowest measured requests, slowest first
 }
 
 // collect drains the results channel, folding measured-window requests
@@ -279,12 +293,14 @@ type collectOut struct {
 // *response* also arrived before the window closed: on a saturated
 // server responses pile up past the end of the window, which is exactly
 // how achieved rate falls below offered rate.
-func collect(results <-chan result, aggs map[Endpoint]*epAgg, window time.Duration, done chan<- collectOut) {
+func collect(results <-chan result, aggs map[Endpoint]*epAgg, window time.Duration, slowN int, done chan<- collectOut) {
 	out := collectOut{byCode: map[string]int64{}}
+	slow := &slowTracker{n: slowN}
 	for r := range results {
 		if !r.measured {
 			continue
 		}
+		slow.add(r)
 		a := aggs[r.ep]
 		sec := r.latency.Seconds()
 		a.local.Observe(sec)
@@ -306,6 +322,7 @@ func collect(results <-chan result, aggs map[Endpoint]*epAgg, window time.Durati
 			out.completedInWindow++
 		}
 	}
+	out.slowest = slow.reqs
 	done <- out
 }
 
@@ -314,7 +331,7 @@ func collect(results <-chan result, aggs map[Endpoint]*epAgg, window time.Durati
 // send, so scheduler lag and queueing both count against the server —
 // the open-loop contract.
 func fire(client *http.Client, base string, sr scheduledReq, start time.Time) result {
-	res := result{ep: sr.ep, measured: sr.measured}
+	res := result{id: sr.id, ep: sr.ep, measured: sr.measured}
 	var req *http.Request
 	var err error
 	if sr.body != "" {
@@ -331,6 +348,7 @@ func fire(client *http.Client, base string, sr scheduledReq, start time.Time) re
 		res.completed = -1
 		return res
 	}
+	req.Header.Set(headerRequestID, sr.id)
 	resp, err := client.Do(req)
 	now := time.Since(start)
 	res.latency = now - sr.at

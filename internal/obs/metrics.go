@@ -69,6 +69,23 @@ const (
 	MetricLoadLatencyTranslate = "load.latency_seconds.translate"
 	MetricLoadLatencyKNN       = "load.latency_seconds.knn"
 	MetricLoadLatencyInfer     = "load.latency_seconds.infer"
+
+	// MetricRuntimeHeapAlloc is the live heap size in bytes
+	// (runtime.MemStats.HeapAlloc), polled by Run.PollRuntime.
+	MetricRuntimeHeapAlloc = "runtime.heap_alloc_bytes"
+	// MetricRuntimeGCPauseTotal is the cumulative stop-the-world GC
+	// pause time in seconds since process start.
+	MetricRuntimeGCPauseTotal = "runtime.gc_pause_total_seconds"
+	// MetricRuntimeGCCycles counts completed GC cycles since process
+	// start.
+	MetricRuntimeGCCycles = "runtime.gc_cycles"
+	// MetricRuntimeGoroutines is the current goroutine count.
+	MetricRuntimeGoroutines = "runtime.goroutines"
+	// MetricRuntimeSchedLatency is a scheduler-latency proxy: the
+	// observed delay of a timer wakeup beyond its requested sleep. A
+	// loaded or GC-stalled scheduler shows up here before it shows up
+	// in request latency.
+	MetricRuntimeSchedLatency = "runtime.sched_latency_seconds"
 )
 
 // Declared span names. Tracer.Start sites with a constant name must use

@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// PollRuntime starts a background goroutine that samples Go runtime
+// health into the run's registry gauges every interval: live heap
+// bytes, cumulative GC pause seconds, completed GC cycles, goroutine
+// count, and a scheduler-latency proxy (how late a short timer wakeup
+// fires beyond its requested sleep — a loaded or GC-stalled scheduler
+// delays wakeups before it delays anything else). The gauges give a
+// request trace its "was the runtime itself misbehaving?" context:
+// a slow request with no dominant stage and a GC pause spike in the
+// same window is a GC story, not a model story.
+//
+// interval <= 0 defaults to 5s. The returned stop function halts the
+// poller and waits for its goroutine to exit; it is safe to call more
+// than once. On a nil Run the poller is a no-op and stop returns
+// immediately.
+func (r *Run) PollRuntime(interval time.Duration) (stop func()) {
+	if r == nil {
+		return func() {}
+	}
+	if interval <= 0 {
+		interval = 5 * time.Second
+	}
+	heap := r.Reg.Gauge(MetricRuntimeHeapAlloc)
+	pause := r.Reg.Gauge(MetricRuntimeGCPauseTotal)
+	cycles := r.Reg.Gauge(MetricRuntimeGCCycles)
+	goroutines := r.Reg.Gauge(MetricRuntimeGoroutines)
+	sched := r.Reg.Gauge(MetricRuntimeSchedLatency)
+
+	sample := func() {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		heap.Set(float64(ms.HeapAlloc))
+		pause.Set(float64(ms.PauseTotalNs) / 1e9)
+		cycles.Set(float64(ms.NumGC))
+		goroutines.Set(float64(runtime.NumGoroutine()))
+
+		// Scheduler-latency probe: request a 1ms sleep and measure the
+		// overshoot. On an idle scheduler the overshoot is timer slop
+		// (tens of µs); under CPU saturation or a stop-the-world pause
+		// it stretches to milliseconds.
+		const probe = time.Millisecond
+		t0 := time.Now()
+		time.Sleep(probe)
+		if late := time.Since(t0) - probe; late > 0 {
+			sched.Set(late.Seconds())
+		} else {
+			sched.Set(0)
+		}
+	}
+	sample() // publish a first reading before the first tick
+
+	done := make(chan struct{})
+	exited := make(chan struct{})
+	go func() {
+		defer close(exited)
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+				sample()
+			}
+		}
+	}()
+
+	var once sync.Once
+	return func() {
+		once.Do(func() { close(done) })
+		<-exited
+	}
+}

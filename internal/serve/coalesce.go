@@ -53,12 +53,21 @@ func newCoalescer(workers int, gauge *obs.Gauge, coalesced *obs.Counter) *coales
 // do runs fn for key, deduplicating against identical in-flight calls
 // and respecting the concurrency bound. Every caller of the same key
 // receives the leader's (val, err); callers must not mutate val.
-func (c *coalescer) do(key string, fn func() ([]float64, error)) ([]float64, error) {
+//
+// The caller's trace (nil-safe) records where the time went: a
+// follower's whole wait on the leader is its coalesce_wait stage (it
+// runs no forward pass of its own, so it records no forward stage); a
+// leader's semaphore wait is coalesce_wait and its fn execution is
+// forward.
+func (c *coalescer) do(tr *obs.ReqTrace, key string, fn func() ([]float64, error)) ([]float64, error) {
 	c.mu.Lock()
 	if call, ok := c.inflight[key]; ok {
 		c.mu.Unlock()
 		c.coalesced.Add(1)
+		tr.SetCoalesced()
+		tr.StartStage(obs.TraceStageCoalesceWait)
 		<-call.done
+		tr.EndStage(obs.TraceStageCoalesceWait)
 		return call.val, call.err
 	}
 	call := &inflightCall{done: make(chan struct{})}
@@ -66,8 +75,12 @@ func (c *coalescer) do(key string, fn func() ([]float64, error)) ([]float64, err
 	c.mu.Unlock()
 
 	c.gauge.Set(float64(c.depth.Add(1)))
+	tr.StartStage(obs.TraceStageCoalesceWait)
 	c.sem <- struct{}{}
+	tr.EndStage(obs.TraceStageCoalesceWait)
+	tr.StartStage(obs.TraceStageForward)
 	call.val, call.err = fn()
+	tr.EndStage(obs.TraceStageForward)
 	<-c.sem
 	c.gauge.Set(float64(c.depth.Add(-1)))
 

@@ -66,6 +66,11 @@ type ErrorBody struct {
 	Message string `json:"message"`
 	// Status echoes the HTTP status the envelope was sent with.
 	Status int `json:"status"`
+	// RequestID is the request's correlation ID (the X-Transn-Request-Id
+	// value, client-supplied or server-generated) so an error seen by a
+	// client can be matched to the server's trace and logs. Omitted when
+	// the request carried no ID and tracing was disabled.
+	RequestID string `json:"request_id,omitempty"`
 }
 
 // ErrorEnvelope is the body of every non-2xx response:
@@ -96,16 +101,20 @@ func errf(status int, code, format string, args ...any) *apiError {
 	return &apiError{status: status, code: code, msg: fmt.Sprintf(format, args...)}
 }
 
-// writeError renders err as a transn.serve/v1 envelope on w. Non-API
-// errors become 500/internal.
-func writeError(w http.ResponseWriter, err error) int {
+// writeError renders err as a transn.serve/v1 envelope on w, stamping
+// the request's correlation ID into the envelope and the response
+// header (when non-empty). Non-API errors become 500/internal.
+func writeError(w http.ResponseWriter, reqID string, err error) int {
 	ae, ok := err.(*apiError)
 	if !ok {
 		ae = errf(http.StatusInternalServerError, CodeInternal, "%v", err)
 	}
+	if reqID != "" {
+		w.Header().Set(HeaderRequestID, reqID)
+	}
 	env := ErrorEnvelope{
 		Schema: ErrorSchema,
-		Error:  ErrorBody{Code: ae.code, Message: ae.msg, Status: ae.status},
+		Error:  ErrorBody{Code: ae.code, Message: ae.msg, Status: ae.status, RequestID: reqID},
 	}
 	writeJSON(w, ae.status, env)
 	return ae.status

@@ -138,57 +138,80 @@ type snapHandler func(s *snapshot, r *http.Request) (any, error)
 
 // routes mounts every endpoint on the server mux.
 func (sv *Server) routes() {
-	sv.mux.Handle("/v1/embedding", sv.endpoint(http.MethodGet, sv.cfg.RequestTimeout, sv.handleEmbedding))
-	sv.mux.Handle("/v1/translate", sv.endpoint(http.MethodGet, sv.cfg.RequestTimeout, sv.handleTranslate))
-	sv.mux.Handle("/v1/knn", sv.endpoint(http.MethodGet, sv.cfg.RequestTimeout, sv.handleKNN))
-	sv.mux.Handle("/v1/infer", sv.endpoint(http.MethodPost, sv.cfg.RequestTimeout, sv.handleInfer))
-	sv.mux.Handle("/v1/model", sv.endpoint(http.MethodGet, sv.cfg.RequestTimeout, sv.handleModel))
-	sv.mux.Handle("/admin/selfcheck", sv.endpoint(http.MethodGet, sv.cfg.SelfcheckTimeout, sv.handleSelfcheck))
+	sv.mux.Handle("/v1/embedding", sv.endpoint("embedding", http.MethodGet, sv.cfg.RequestTimeout, sv.handleEmbedding))
+	sv.mux.Handle("/v1/translate", sv.endpoint("translate", http.MethodGet, sv.cfg.RequestTimeout, sv.handleTranslate))
+	sv.mux.Handle("/v1/knn", sv.endpoint("knn", http.MethodGet, sv.cfg.RequestTimeout, sv.handleKNN))
+	sv.mux.Handle("/v1/infer", sv.endpoint("infer", http.MethodPost, sv.cfg.RequestTimeout, sv.handleInfer))
+	sv.mux.Handle("/v1/model", sv.endpoint("model", http.MethodGet, sv.cfg.RequestTimeout, sv.handleModel))
+	sv.mux.Handle("/admin/selfcheck", sv.endpoint("selfcheck", http.MethodGet, sv.cfg.SelfcheckTimeout, sv.handleSelfcheck))
 	sv.mux.HandleFunc("/admin/reload", sv.handleReload)
 	sv.mux.HandleFunc("/healthz", sv.handleHealthz)
 	sv.mux.HandleFunc("/readyz", sv.handleReadyz)
+	sv.mux.HandleFunc("/debug/requests", sv.handleDebugRequests)
+	sv.mux.HandleFunc("/debug/slow", sv.handleDebugSlow)
 	sv.mux.HandleFunc("/", sv.handleNotFound)
 	sv.run.MountDebug(sv.mux)
 }
 
 // endpoint wraps a snapHandler with the serving middleware: request
-// counting, method check, snapshot acquisition, the per-endpoint
-// deadline, latency observation and error-envelope rendering. The
-// handler runs on its own goroutine; on timeout the client gets a 504
-// envelope while the computation finishes in the background (still
-// populating the cache for the retry).
-func (sv *Server) endpoint(method string, timeout time.Duration, h snapHandler) http.Handler {
+// counting, correlation-ID settlement, tracing, method check, snapshot
+// acquisition, the per-endpoint deadline, latency observation,
+// error-envelope rendering and access/slow logging. The handler runs on
+// its own goroutine; on timeout the client gets a 504 envelope while
+// the computation finishes in the background (still populating the
+// cache for the retry) — the trace is finalized at the deadline, so a
+// still-open stage is recorded at its duration so far and the
+// background goroutine's later stage marks land on atomics that nobody
+// reads again (race-free by construction, verified under -race).
+func (sv *Server) endpoint(name, method string, timeout time.Duration, h snapHandler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		sv.reqs.Add(1)
+		tr, reqID := sv.beginTrace(r, name)
 		status := http.StatusOK
+		outcome := obs.TraceOutcomeOK
+		code := ""
 		defer func() {
-			sv.latency.Observe(time.Since(start).Seconds())
+			elapsed := time.Since(start)
+			sv.latency.Observe(elapsed.Seconds())
 			if status >= 400 {
 				sv.errs.Add(1)
 			}
+			sv.finishTrace(r, tr, reqID, name, outcome, status, code, elapsed)
 		}()
+		if reqID != "" {
+			w.Header().Set(HeaderRequestID, reqID)
+		}
 		if r.Method != method {
-			status = writeError(w, errf(http.StatusMethodNotAllowed, CodeMethodNotAllowed,
+			outcome, code = obs.TraceOutcomeError, CodeMethodNotAllowed
+			status = writeError(w, reqID, errf(http.StatusMethodNotAllowed, CodeMethodNotAllowed,
 				"%s requires %s", r.URL.Path, method))
 			return
 		}
+		tr.StartStage(obs.TraceStageSnapshot)
 		snap := sv.snap.Load()
 		if snap == nil || sv.draining.Load() {
-			status = writeError(w, errf(http.StatusServiceUnavailable, CodeNotReady,
+			outcome, code = obs.TraceOutcomeError, CodeNotReady
+			status = writeError(w, reqID, errf(http.StatusServiceUnavailable, CodeNotReady,
 				"no snapshot is live (starting up or draining)"))
 			return
 		}
+		tr.SetGeneration(snap.gen)
+		tr.EndStage(obs.TraceStageSnapshot)
+		if tr != nil {
+			r = r.WithContext(withTrace(r.Context(), tr))
+		}
 		type result struct {
-			v   any
-			err error
+			v        any
+			err      error
+			panicked bool
 		}
 		ch := make(chan result, 1)
 		go func() {
 			defer func() {
 				if p := recover(); p != nil {
 					ch <- result{err: errf(http.StatusInternalServerError, CodeInternal,
-						"handler panic: %v", p)}
+						"handler panic: %v", p), panicked: true}
 				}
 			}()
 			v, err := h(snap, r)
@@ -199,12 +222,24 @@ func (sv *Server) endpoint(method string, timeout time.Duration, h snapHandler) 
 		select {
 		case res := <-ch:
 			if res.err != nil {
-				status = writeError(w, res.err)
+				outcome = obs.TraceOutcomeError
+				if res.panicked {
+					outcome = obs.TraceOutcomePanic
+				}
+				status = writeError(w, reqID, res.err)
+				if ae, ok := res.err.(*apiError); ok {
+					code = ae.code
+				} else {
+					code = CodeInternal
+				}
 				return
 			}
+			tr.StartStage(obs.TraceStageEncode)
 			writeJSON(w, http.StatusOK, res.v)
+			tr.EndStage(obs.TraceStageEncode)
 		case <-timer.C:
-			status = writeError(w, errf(http.StatusGatewayTimeout, CodeTimeout,
+			outcome, code = obs.TraceOutcomeTimeout, CodeTimeout
+			status = writeError(w, reqID, errf(http.StatusGatewayTimeout, CodeTimeout,
 				"request exceeded the %s deadline", timeout))
 		}
 	})
@@ -214,6 +249,8 @@ func (sv *Server) endpoint(method string, timeout time.Duration, h snapHandler) 
 // final averaged embedding (Section III-C), or the view-specific
 // embedding when view is given.
 func (sv *Server) handleEmbedding(s *snapshot, r *http.Request) (any, error) {
+	tr := traceFrom(r.Context())
+	tr.StartStage(obs.TraceStageDecode)
 	name := r.URL.Query().Get("node")
 	if name == "" {
 		return nil, errf(http.StatusBadRequest, CodeBadRequest, "missing required parameter: node")
@@ -222,13 +259,17 @@ func (sv *Server) handleEmbedding(s *snapshot, r *http.Request) (any, error) {
 	if err != nil {
 		return nil, err
 	}
+	viewName := r.URL.Query().Get("view")
+	tr.EndStage(obs.TraceStageDecode)
 	resp := EmbeddingResponse{Schema: ErrorSchema, Node: name, Dim: s.frozen.Dim()}
-	if viewName := r.URL.Query().Get("view"); viewName != "" {
+	if viewName != "" {
 		vi, err := s.view(viewName)
 		if err != nil {
 			return nil, err
 		}
+		tr.StartStage(obs.TraceStageForward)
 		emb := s.frozen.ViewEmbedding(vi, id)
+		tr.EndStage(obs.TraceStageForward)
 		if emb == nil {
 			return nil, errf(http.StatusNotFound, CodeUnknownNode,
 				"node %q is not in view %q", name, viewName)
@@ -237,7 +278,9 @@ func (sv *Server) handleEmbedding(s *snapshot, r *http.Request) (any, error) {
 		resp.Embedding = emb
 		return resp, nil
 	}
+	tr.StartStage(obs.TraceStageForward)
 	resp.Embedding = s.frozen.Final(id)
+	tr.EndStage(obs.TraceStageForward)
 	return resp, nil
 }
 
@@ -246,6 +289,8 @@ func (sv *Server) handleEmbedding(s *snapshot, r *http.Request) (any, error) {
 // stack T_{from→to} (Eqs. 8–10). Results are cached per snapshot and
 // identical concurrent requests coalesce into one forward pass.
 func (sv *Server) handleTranslate(s *snapshot, r *http.Request) (any, error) {
+	tr := traceFrom(r.Context())
+	tr.StartStage(obs.TraceStageDecode)
 	q := r.URL.Query()
 	name, fromName, toName := q.Get("node"), q.Get("from"), q.Get("to")
 	if name == "" || fromName == "" || toName == "" {
@@ -273,7 +318,8 @@ func (sv *Server) handleTranslate(s *snapshot, r *http.Request) (any, error) {
 			"views %q and %q share no common nodes; no translator was trained", fromName, toName)
 	}
 	key := fmt.Sprintf("t|%d|%d|%d|%d", s.gen, from, to, id)
-	vec, err := sv.cached(s, key, func() ([]float64, error) {
+	tr.EndStage(obs.TraceStageDecode)
+	vec, err := sv.cached(tr, s, key, func() ([]float64, error) {
 		return s.frozen.TranslateNode(from, to, id)
 	})
 	if err != nil {
@@ -292,6 +338,8 @@ func (sv *Server) handleTranslate(s *snapshot, r *http.Request) (any, error) {
 // handleKNN serves GET /v1/knn?node=NAME[&k=N]: the k nearest
 // neighbors of the node's final embedding under cosine similarity.
 func (sv *Server) handleKNN(s *snapshot, r *http.Request) (any, error) {
+	tr := traceFrom(r.Context())
+	tr.StartStage(obs.TraceStageDecode)
 	q := r.URL.Query()
 	name := q.Get("node")
 	if name == "" {
@@ -313,7 +361,10 @@ func (sv *Server) handleKNN(s *snapshot, r *http.Request) (any, error) {
 		return nil, errf(http.StatusBadRequest, CodeBadRequest,
 			"k=%d exceeds the server cap of %d", k, sv.cfg.MaxK)
 	}
+	tr.EndStage(obs.TraceStageDecode)
+	tr.StartStage(obs.TraceStageForward)
 	nbrs := s.knn(id, k)
+	tr.EndStage(obs.TraceStageForward)
 	return KNNResponse{Schema: ErrorSchema, Node: name, K: len(nbrs), Neighbors: nbrs}, nil
 }
 
@@ -321,6 +372,8 @@ func (sv *Server) handleKNN(s *snapshot, r *http.Request) (any, error) {
 // from its edges into the trained graph (Model.InferNode). Identical
 // concurrent payloads coalesce; results are cached per snapshot.
 func (sv *Server) handleInfer(s *snapshot, r *http.Request) (any, error) {
+	tr := traceFrom(r.Context())
+	tr.StartStage(obs.TraceStageDecode)
 	var req InferRequest
 	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 1<<20))
 	dec.DisallowUnknownFields()
@@ -355,7 +408,8 @@ func (sv *Server) handleInfer(s *snapshot, r *http.Request) (any, error) {
 		})
 		fmt.Fprintf(&key, "|%d,%d,%s", id, vi, strconv.FormatFloat(w, 'g', -1, 64))
 	}
-	vec, err := sv.cached(s, key.String(), func() ([]float64, error) {
+	tr.EndStage(obs.TraceStageDecode)
+	vec, err := sv.cached(tr, s, key.String(), func() ([]float64, error) {
 		return s.frozen.InferNode(edges)
 	})
 	if err != nil {
@@ -368,7 +422,10 @@ func (sv *Server) handleInfer(s *snapshot, r *http.Request) (any, error) {
 }
 
 // handleModel serves GET /v1/model: the live snapshot's shape.
-func (sv *Server) handleModel(s *snapshot, _ *http.Request) (any, error) {
+func (sv *Server) handleModel(s *snapshot, r *http.Request) (any, error) {
+	tr := traceFrom(r.Context())
+	tr.StartStage(obs.TraceStageForward)
+	defer tr.EndStage(obs.TraceStageForward)
 	g := s.frozen.Graph()
 	resp := ModelResponse{
 		Schema: ErrorSchema, Generation: s.gen, Dim: s.frozen.Dim(),
@@ -389,9 +446,12 @@ func (sv *Server) handleModel(s *snapshot, _ *http.Request) (any, error) {
 // health findings (internal/diag) against the live snapshot, as a
 // transn.diagnostics/v1 document. Corpus analysis is skipped — it
 // regenerates walk corpora, which is a training-scale cost.
-func (sv *Server) handleSelfcheck(s *snapshot, _ *http.Request) (any, error) {
+func (sv *Server) handleSelfcheck(s *snapshot, r *http.Request) (any, error) {
+	tr := traceFrom(r.Context())
 	sp := sv.run.Trace.Start(obs.SpanServeSelfcheck)
+	tr.StartStage(obs.TraceStageForward)
 	doc := diag.Analyze(s.frozen.Model(), diag.Options{Name: "serve-selfcheck", SkipCorpus: true})
+	tr.EndStage(obs.TraceStageForward)
 	sp.End()
 	var buf bytes.Buffer
 	if err := diag.Write(&buf, doc); err != nil {
@@ -407,13 +467,13 @@ func (sv *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 	sv.reqs.Add(1)
 	if r.Method != http.MethodPost {
 		sv.errs.Add(1)
-		writeError(w, errf(http.StatusMethodNotAllowed, CodeMethodNotAllowed,
+		writeError(w, requestID(r), errf(http.StatusMethodNotAllowed, CodeMethodNotAllowed,
 			"/admin/reload requires POST"))
 		return
 	}
 	if err := sv.Reload(); err != nil {
 		sv.errs.Add(1)
-		writeError(w, errf(http.StatusInternalServerError, CodeReloadFailed, "%v", err))
+		writeError(w, requestID(r), errf(http.StatusInternalServerError, CodeReloadFailed, "%v", err))
 		return
 	}
 	writeJSON(w, http.StatusOK, ReloadResponse{Schema: ErrorSchema, Generation: sv.Generation()})
@@ -429,10 +489,10 @@ func (sv *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 // handleReadyz serves GET /readyz: readiness. 200 with the live
 // generation while serving; 503 not_ready while starting or draining,
 // so load balancers drain before Shutdown closes the listener.
-func (sv *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+func (sv *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	snap := sv.snap.Load()
 	if snap == nil || sv.draining.Load() {
-		writeError(w, errf(http.StatusServiceUnavailable, CodeNotReady,
+		writeError(w, requestID(r), errf(http.StatusServiceUnavailable, CodeNotReady,
 			"no snapshot is live (starting up or draining)"))
 		return
 	}
@@ -444,19 +504,25 @@ func (sv *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 func (sv *Server) handleNotFound(w http.ResponseWriter, r *http.Request) {
 	sv.reqs.Add(1)
 	sv.errs.Add(1)
-	writeError(w, errf(http.StatusNotFound, CodeNotFound, "no such route: %s", r.URL.Path))
+	writeError(w, requestID(r), errf(http.StatusNotFound, CodeNotFound, "no such route: %s", r.URL.Path))
 }
 
 // cached looks key up in the snapshot's LRU, and on a miss computes it
 // through the coalescer (deduplicating identical in-flight requests and
-// bounding translator concurrency) before caching the result.
-func (sv *Server) cached(s *snapshot, key string, fn func() ([]float64, error)) ([]float64, error) {
-	if vec, ok := s.cache.get(key); ok {
+// bounding translator concurrency) before caching the result. The
+// request's trace records the lookup as the cache stage and, on a miss,
+// the coalescer records the wait and forward stages.
+func (sv *Server) cached(tr *obs.ReqTrace, s *snapshot, key string, fn func() ([]float64, error)) ([]float64, error) {
+	tr.StartStage(obs.TraceStageCache)
+	vec, ok := s.cache.get(key)
+	tr.EndStage(obs.TraceStageCache)
+	if ok {
 		sv.hits.Add(1)
+		tr.SetCacheHit()
 		return vec, nil
 	}
 	sv.misses.Add(1)
-	return sv.coal.do(key, func() ([]float64, error) {
+	return sv.coal.do(tr, key, func() ([]float64, error) {
 		vec, err := fn()
 		if err != nil {
 			return nil, err

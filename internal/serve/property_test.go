@@ -161,7 +161,7 @@ func TestCoalescerSingleFlightProperty(t *testing.T) {
 				go func(k, w int) {
 					defer wg.Done()
 					key := fmt.Sprintf("key-%d", k)
-					v, err := c.do(key, func() ([]float64, error) {
+					v, err := c.do(nil, key, func() ([]float64, error) {
 						if n := active[k].Add(1); n != 1 {
 							t.Errorf("round %d key %d: %d concurrent executions in one flight", round, k, n)
 						}
@@ -209,7 +209,7 @@ func TestCoalescerWaitersShareLeaderSlice(t *testing.T) {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			v, err := c.do("shared", func() ([]float64, error) {
+			v, err := c.do(nil, "shared", func() ([]float64, error) {
 				execs.Add(1)
 				<-release
 				return []float64{3.25, -1.5, 0.125}, nil
@@ -256,7 +256,7 @@ func TestCoalescerErrorFansOut(t *testing.T) {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			_, err := c.do("err-key", func() ([]float64, error) {
+			_, err := c.do(nil, "err-key", func() ([]float64, error) {
 				execs.Add(1)
 				<-release
 				return nil, wantErr
@@ -280,7 +280,7 @@ func TestCoalescerErrorFansOut(t *testing.T) {
 	}
 	// Errors must not stick: a fresh call for the same key runs again
 	// and succeeds.
-	v, err := c.do("err-key", func() ([]float64, error) { return []float64{1}, nil })
+	v, err := c.do(nil, "err-key", func() ([]float64, error) { return []float64{1}, nil })
 	if err != nil || len(v) != 1 || v[0] != 1 {
 		t.Fatalf("post-error call = %v, %v; want [1], nil", v, err)
 	}

@@ -109,6 +109,7 @@ func newTestServer(t testing.TB, cfg Config) (*Server, *transn.Model) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(func() { sv.stopRuntime() })
 	return sv, m
 }
 
@@ -158,7 +159,7 @@ func TestCoalescerDedupes(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			v, err := c.do("same-key", func() ([]float64, error) {
+			v, err := c.do(nil, "same-key", func() ([]float64, error) {
 				calls.Add(1)
 				<-release
 				return []float64{42}, nil
@@ -198,7 +199,7 @@ func TestCoalescerBoundsConcurrency(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			_, _ = c.do(string(rune('a'+i)), func() ([]float64, error) {
+			_, _ = c.do(nil, string(rune('a'+i)), func() ([]float64, error) {
 				n := cur.Add(1)
 				for {
 					p := peak.Load()
@@ -220,7 +221,7 @@ func TestCoalescerBoundsConcurrency(t *testing.T) {
 
 func TestEndpointTimeout(t *testing.T) {
 	sv, _ := newTestServer(t, Config{})
-	h := sv.endpoint(http.MethodGet, 5*time.Millisecond, func(*snapshot, *http.Request) (any, error) {
+	h := sv.endpoint("test", http.MethodGet, 5*time.Millisecond, func(*snapshot, *http.Request) (any, error) {
 		time.Sleep(300 * time.Millisecond)
 		return nil, nil
 	})
@@ -309,7 +310,9 @@ func TestErrorEnvelopes(t *testing.T) {
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			rec := httptest.NewRecorder()
-			sv.Handler().ServeHTTP(rec, httptest.NewRequest(tc.method, tc.target, nil))
+			req := httptest.NewRequest(tc.method, tc.target, nil)
+			req.Header.Set(HeaderRequestID, "env-"+tc.code)
+			sv.Handler().ServeHTTP(rec, req)
 			if rec.Code != tc.status {
 				t.Fatalf("status = %d, want %d (body %s)", rec.Code, tc.status, rec.Body)
 			}
@@ -322,6 +325,14 @@ func TestErrorEnvelopes(t *testing.T) {
 			}
 			if env.Error.Code != tc.code || env.Error.Status != tc.status {
 				t.Fatalf("error = %+v, want code %q status %d", env.Error, tc.code, tc.status)
+			}
+			// Satellite: every error envelope carries the correlation ID
+			// the client supplied, and the header echoes it.
+			if env.Error.RequestID != "env-"+tc.code {
+				t.Fatalf("request_id = %q, want %q", env.Error.RequestID, "env-"+tc.code)
+			}
+			if got := rec.Header().Get(HeaderRequestID); got != "env-"+tc.code {
+				t.Fatalf("response header %s = %q, want %q", HeaderRequestID, got, "env-"+tc.code)
 			}
 		})
 	}

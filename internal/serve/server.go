@@ -3,6 +3,7 @@ package serve
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"sync"
@@ -40,6 +41,32 @@ type Config struct {
 	DrainTimeout time.Duration
 	// MaxK caps the k parameter of /v1/knn. 0 means the default (100).
 	MaxK int
+
+	// TraceDisabled turns off request-scoped tracing entirely: no
+	// request IDs are minted, /debug/requests and /debug/slow answer
+	// 404, and the per-request instrumentation reduces to nil checks
+	// with zero allocations (pinned by a benchmark). Client-supplied
+	// X-Transn-Request-Id headers are still echoed in error envelopes.
+	TraceDisabled bool
+	// TraceSampleHead / TraceSampleRate / TraceRingSize /
+	// TraceSlowRingSize / TraceSlowThreshold configure the trace
+	// sampler and rings; zero values take the obs.TraceConfig defaults
+	// (head 64, rate 1/64, ring 256, slow ring 64, threshold 250ms) and
+	// negative values disable that dimension.
+	TraceSampleHead    int
+	TraceSampleRate    int
+	TraceRingSize      int
+	TraceSlowRingSize  int
+	TraceSlowThreshold time.Duration
+	// Logger, when non-nil, receives the structured JSON access log
+	// (one LogLevelAccess line per API request) and the slow-request
+	// log (LogLevelSlow, with per-stage timings). Nil disables request
+	// logging.
+	Logger *slog.Logger
+	// RuntimePollInterval is how often runtime health gauges (heap, GC
+	// pause, goroutines, scheduler latency) are sampled into the
+	// registry. 0 means the default (5s); negative disables polling.
+	RuntimePollInterval time.Duration
 }
 
 // withDefaults fills zero fields with production defaults.
@@ -62,6 +89,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxK == 0 {
 		c.MaxK = 100
 	}
+	if c.RuntimePollInterval == 0 {
+		c.RuntimePollInterval = 5 * time.Second
+	}
 	return c
 }
 
@@ -81,6 +111,11 @@ type Server struct {
 
 	mux     *http.ServeMux
 	httpSrv *http.Server
+
+	traces      *obs.TraceLog // nil when Config.TraceDisabled
+	log         *slog.Logger  // nil when Config.Logger is nil
+	ids         *reqIDGen
+	stopRuntime func()
 
 	reqs, errs, hits, misses, reloads *obs.Counter
 	latency                           *obs.Histogram
@@ -107,6 +142,22 @@ func New(cfg Config) (*Server, error) {
 		latency: run.Reg.Histogram(obs.MetricServeLatency,
 			[]float64{0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5}),
 		genGauge: run.Reg.Gauge(obs.MetricServeSnapshotGen),
+		log:      cfg.Logger,
+		ids:      newReqIDGen(),
+	}
+	if !cfg.TraceDisabled {
+		sv.traces = obs.NewTraceLog(obs.TraceConfig{
+			SampleHead:    cfg.TraceSampleHead,
+			SampleRate:    cfg.TraceSampleRate,
+			RingSize:      cfg.TraceRingSize,
+			SlowRingSize:  cfg.TraceSlowRingSize,
+			SlowThreshold: cfg.TraceSlowThreshold,
+		})
+	}
+	if cfg.RuntimePollInterval > 0 {
+		sv.stopRuntime = run.PollRuntime(cfg.RuntimePollInterval)
+	} else {
+		sv.stopRuntime = func() {}
 	}
 	sv.coal = newCoalescer(cfg.TranslateWorkers,
 		run.Reg.Gauge(obs.MetricServeQueueDepth), run.Reg.Counter(obs.MetricServeCoalesced))
@@ -168,10 +219,12 @@ func (sv *Server) Reload() error {
 
 // Shutdown drains the server gracefully: readiness flips to 503 (so
 // load balancers stop routing here), in-flight requests get up to
-// DrainTimeout to finish, then the listener closes. Safe to call when
-// Start was never called (it only flips readiness).
+// DrainTimeout to finish, then the listener closes. The runtime health
+// poller stops. Safe to call when Start was never called (it only
+// flips readiness) and safe to call more than once.
 func (sv *Server) Shutdown() error {
 	sv.draining.Store(true)
+	sv.stopRuntime()
 	if sv.httpSrv == nil {
 		return nil
 	}

@@ -1,0 +1,169 @@
+package serve
+
+import (
+	"context"
+	crand "crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"transn/internal/obs"
+)
+
+// HeaderRequestID is the request-correlation header. Clients may supply
+// their own ID (transnload does, so its client-side observations join
+// against server-side traces); otherwise the server generates one.
+// Either way the ID is echoed on the response, embedded in any error
+// envelope, and stamped on the request's trace and log lines.
+const HeaderRequestID = "X-Transn-Request-Id"
+
+// traceCtxKey is the context key the middleware threads the live
+// *obs.ReqTrace under. An unexported struct key — no collisions.
+type traceCtxKey struct{}
+
+// withTrace returns a context carrying tr.
+func withTrace(ctx context.Context, tr *obs.ReqTrace) context.Context {
+	return context.WithValue(ctx, traceCtxKey{}, tr)
+}
+
+// traceFrom extracts the request's trace, nil when tracing is disabled
+// (every ReqTrace method is nil-safe, so handlers never check).
+func traceFrom(ctx context.Context) *obs.ReqTrace {
+	tr, _ := ctx.Value(traceCtxKey{}).(*obs.ReqTrace)
+	return tr
+}
+
+// requestID returns the client-supplied correlation ID, if any.
+func requestID(r *http.Request) string {
+	return r.Header.Get(HeaderRequestID)
+}
+
+// reqIDGen mints server-side request IDs: a per-process random prefix
+// (so IDs from restarted servers never collide in aggregated logs) plus
+// an atomic sequence number.
+type reqIDGen struct {
+	prefix string
+	seq    atomic.Uint64
+}
+
+// newReqIDGen seeds the generator's process prefix.
+func newReqIDGen() *reqIDGen {
+	var b [4]byte
+	prefix := "srv0"
+	if _, err := crand.Read(b[:]); err == nil {
+		prefix = hex.EncodeToString(b[:])
+	}
+	return &reqIDGen{prefix: prefix}
+}
+
+// next mints one ID, e.g. "a3f09b21-000042".
+func (g *reqIDGen) next() string {
+	return fmt.Sprintf("%s-%06d", g.prefix, g.seq.Add(1))
+}
+
+// beginTrace starts the request's trace and settles its correlation ID:
+// the client's header if present, a minted one otherwise. With tracing
+// disabled it returns (nil, client-ID) and — when the client sent no
+// header — performs no allocation at all (the zero-alloc pin in
+// trace_test.go holds this middleware path to exactly 0 allocs/req).
+func (sv *Server) beginTrace(r *http.Request, endpoint string) (*obs.ReqTrace, string) {
+	id := requestID(r)
+	if sv.traces == nil {
+		return nil, id
+	}
+	if id == "" {
+		id = sv.ids.next()
+	}
+	return sv.traces.Begin(id, endpoint), id
+}
+
+// finishTrace finalizes the trace (closing any still-open stage — a
+// timed-out forward pass is recorded at its duration so far), routes
+// the record to the sampled/slow rings, and emits the structured access
+// and slow-request logs. Nil-safe on every component: with tracing and
+// logging both disabled it reduces to two nil checks.
+func (sv *Server) finishTrace(r *http.Request, tr *obs.ReqTrace, id, endpoint string,
+	outcome obs.TraceOutcome, status int, code string, elapsed time.Duration) {
+	rec, kept := sv.traces.Finish(tr, outcome, status, code)
+	if sv.log == nil {
+		return
+	}
+	attrs := make([]slog.Attr, 0, 12)
+	attrs = append(attrs,
+		slog.String(obs.LogKeyRequestID, id),
+		slog.String(obs.LogKeyEndpoint, endpoint),
+		slog.String(obs.LogKeyMethod, r.Method),
+		slog.String(obs.LogKeyPath, r.URL.Path),
+		slog.Int(obs.LogKeyStatus, status),
+		slog.String(obs.LogKeyOutcome, string(outcome)),
+		slog.Float64(obs.LogKeyDurationMS, float64(elapsed)/float64(time.Millisecond)),
+	)
+	if code != "" {
+		attrs = append(attrs, slog.String(obs.LogKeyCode, code))
+	}
+	if kept {
+		attrs = append(attrs,
+			slog.Bool(obs.LogKeyCacheHit, rec.CacheHit),
+			slog.Bool(obs.LogKeyCoalesced, rec.Coalesced),
+			slog.Uint64(obs.LogKeyGeneration, rec.Generation),
+		)
+	}
+	ctx := context.Background()
+	sv.log.LogAttrs(ctx, obs.LogLevelAccess, "request", attrs...)
+	if kept && rec.Slow {
+		stageAttrs := make([]any, 0, len(rec.Stages))
+		for _, s := range obs.TraceStages() {
+			if sec, ok := rec.Stages[string(s)]; ok {
+				stageAttrs = append(stageAttrs, slog.Float64(string(s), sec*1e3))
+			}
+		}
+		attrs = append(attrs,
+			slog.Float64(obs.LogKeySlowThresholdMS,
+				float64(sv.traces.SlowThreshold())/float64(time.Millisecond)),
+			slog.Group(obs.LogKeyStages, stageAttrs...),
+		)
+		sv.log.LogAttrs(ctx, obs.LogLevelSlow, "slow request", attrs...)
+	}
+}
+
+// handleDebugRequests serves GET /debug/requests: the sampled trace
+// ring as a transn.trace.serve/v1 dump. 404 when tracing is disabled.
+func (sv *Server) handleDebugRequests(w http.ResponseWriter, r *http.Request) {
+	sv.serveTraceDump(w, r, (*obs.TraceLog).DumpRequests)
+}
+
+// handleDebugSlow serves GET /debug/slow: the always-kept slow-request
+// ring as a transn.trace.serve/v1 dump. 404 when tracing is disabled.
+func (sv *Server) handleDebugSlow(w http.ResponseWriter, r *http.Request) {
+	sv.serveTraceDump(w, r, (*obs.TraceLog).DumpSlow)
+}
+
+// serveTraceDump renders one trace ring dump with the usual envelope
+// discipline for error paths.
+func (sv *Server) serveTraceDump(w http.ResponseWriter, r *http.Request,
+	dump func(*obs.TraceLog) *obs.TraceDump) {
+	sv.reqs.Add(1)
+	if r.Method != http.MethodGet {
+		sv.errs.Add(1)
+		writeError(w, requestID(r), errf(http.StatusMethodNotAllowed, CodeMethodNotAllowed,
+			"%s requires GET", r.URL.Path))
+		return
+	}
+	if sv.traces == nil {
+		sv.errs.Add(1)
+		writeError(w, requestID(r), errf(http.StatusNotFound, CodeNotFound,
+			"request tracing is disabled on this server"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if id := requestID(r); id != "" {
+		w.Header().Set(HeaderRequestID, id)
+	}
+	if err := obs.WriteTraceDump(w, dump(sv.traces)); err != nil {
+		// Headers are already committed; nothing useful left to send.
+		return
+	}
+}
