@@ -22,6 +22,11 @@
 //	    and translator health, walk-corpus coverage, convergence (from
 //	    a recorded -events stream). Exits non-zero on error findings.
 //
+//	transn watch -target http://host:port
+//	    Poll a running transnserve's /debug/history flight recorder and
+//	    render a live terminal view of its request-rate, latency-p99,
+//	    cache-hit-rate and runtime series.
+//
 // The TSV network format is documented in internal/graph (Load/Store):
 // "N <name> <type> [label]" node lines followed by
 // "E <u> <v> <edge-type> [weight]" edge lines.
@@ -88,6 +93,8 @@ func main() {
 		err = cmdDiagnose(os.Args[2:])
 	case "checkreport":
 		err = cmdCheckReport(os.Args[2:])
+	case "watch":
+		err = cmdWatch(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -102,7 +109,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: transn <train|stats|generate|neighbors|evaluate|diagnose|checkreport> [flags]
+	fmt.Fprintln(os.Stderr, `usage: transn <train|stats|generate|neighbors|evaluate|diagnose|checkreport|watch> [flags]
 
   train       -input net.tsv -output emb.tsv [-method transn] [-dim 64]
               [-seed 1] [-iterations 5] [-walklen 40] [-encoders 2]
@@ -117,7 +124,11 @@ func usage() {
   diagnose    -input net.tsv -model model.gob [-output diag.json]
               [-summary] [-events ev.jsonl] [-no-corpus] [-corpus-seed 1]
               [-coverage-warn 0.95] [-workers 0]
-  checkreport -report rep.json (telemetry, diagnostics, lint or serving-bench document)`)
+  checkreport -report rep.json (telemetry, diagnostics, lint, trace,
+              history or serving-bench document)
+  watch       -target http://host:port [-interval 2s] [-res fine|coarse]
+              [-frames N] [-width 60] (live terminal view of a
+              transnserve /debug/history metrics feed)`)
 }
 
 func loadGraph(path string) (*graph.Graph, error) {
@@ -252,13 +263,34 @@ func cmdTrain(args []string) error {
 	return nil
 }
 
-// cmdCheckReport validates a telemetry report written by `train
-// -report` / `benchrun -report`, a diagnostics document written by
-// `diagnose -output`, a lint document written by `transnlint -json`, a
-// trace-ring dump fetched from transnserve /debug/requests, or
-// a serving-bench report written by `transnload -report`, against its
-// schema — the file's own schema field picks the validator. CI's smoke
-// jobs run this on the artifacts they upload.
+// reportValidator binds one schema-stable document family to its
+// validator; kind is the noun printed on success.
+type reportValidator struct {
+	schema   string
+	kind     string
+	validate func([]byte) error
+}
+
+// reportValidators is checkreport's dispatch table: the file's own
+// schema field picks the row. A new document family registers here with
+// one line; anything unmatched falls through to the telemetry-report
+// validator (the original, schema-field-less document family).
+var reportValidators = []reportValidator{
+	{diag.Schema, "document", diag.Validate},
+	{lint.Schema, "document", lint.Validate},
+	{obs.TraceDumpSchema, "dump", obs.ValidateTraceDump},
+	{obs.HistorySchema, "dump", obs.ValidateHistoryDump},
+	{load.BenchSchema, "report", load.Validate},
+}
+
+// cmdCheckReport validates any schema-stable artifact the toolchain
+// writes — telemetry reports (`train -report` / `benchrun -report`),
+// diagnostics (`diagnose -output`), lint documents (`transnlint
+// -json`), trace-ring and history dumps fetched from transnserve's
+// debug endpoints, and serving-bench reports (`transnload -report`) —
+// against its published schema; the file's own schema field picks the
+// validator from reportValidators. CI's smoke jobs run this on the
+// artifacts they upload.
 func cmdCheckReport(args []string) error {
 	fs := flag.NewFlagSet("checkreport", flag.ExitOnError)
 	report := fs.String("report", "", "telemetry report, diagnostics or lint JSON to validate (required)")
@@ -274,32 +306,14 @@ func cmdCheckReport(args []string) error {
 		Schema string `json:"schema"`
 	}
 	_ = json.Unmarshal(data, &peek)
-	if peek.Schema == diag.Schema {
-		if err := diag.Validate(data); err != nil {
+	for _, v := range reportValidators {
+		if peek.Schema != v.schema {
+			continue
+		}
+		if err := v.validate(data); err != nil {
 			return fmt.Errorf("checkreport: %s: %w", *report, err)
 		}
-		fmt.Printf("%s: valid %s document\n", *report, diag.Schema)
-		return nil
-	}
-	if peek.Schema == lint.Schema {
-		if err := lint.Validate(data); err != nil {
-			return fmt.Errorf("checkreport: %s: %w", *report, err)
-		}
-		fmt.Printf("%s: valid %s document\n", *report, lint.Schema)
-		return nil
-	}
-	if peek.Schema == obs.TraceDumpSchema {
-		if err := obs.ValidateTraceDump(data); err != nil {
-			return fmt.Errorf("checkreport: %s: %w", *report, err)
-		}
-		fmt.Printf("%s: valid %s dump\n", *report, obs.TraceDumpSchema)
-		return nil
-	}
-	if peek.Schema == load.BenchSchema {
-		if err := load.Validate(data); err != nil {
-			return fmt.Errorf("checkreport: %s: %w", *report, err)
-		}
-		fmt.Printf("%s: valid %s report\n", *report, load.BenchSchema)
+		fmt.Printf("%s: valid %s %s\n", *report, v.schema, v.kind)
 		return nil
 	}
 	if err := obs.ValidateReport(data); err != nil {

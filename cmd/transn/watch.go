@@ -1,0 +1,190 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"transn/internal/obs"
+)
+
+// sparkGlyphs are the eight block heights a sparkline is quantized to.
+var sparkGlyphs = []rune("▁▂▃▄▅▆▇█")
+
+// sparkline renders the last width values as one line of block glyphs,
+// scaled against the slice maximum (an all-zero series is a flat
+// baseline). Non-finite values render as the baseline glyph.
+func sparkline(vals []float64, width int) string {
+	if len(vals) > width {
+		vals = vals[len(vals)-width:]
+	}
+	max := 0.0
+	for _, v := range vals {
+		if v == v && v > max { // v==v filters NaN
+			max = v
+		}
+	}
+	var b strings.Builder
+	for _, v := range vals {
+		g := 0
+		if max > 0 && v == v && v > 0 {
+			g = int(v / max * float64(len(sparkGlyphs)-1))
+			if g >= len(sparkGlyphs) {
+				g = len(sparkGlyphs) - 1
+			}
+		}
+		b.WriteRune(sparkGlyphs[g])
+	}
+	return b.String()
+}
+
+// deltaFractions derives one fraction per interval from two counter
+// series: num/(num+den) of the per-step deltas (counter-reset safe;
+// element 0 and empty intervals are 0). Used for the cache hit-rate row
+// (hits vs misses).
+func deltaFractions(num, den []int64) []float64 {
+	out := make([]float64, len(num))
+	step := func(prev, cur int64) int64 {
+		if cur < prev {
+			return cur
+		}
+		return cur - prev
+	}
+	for i := 1; i < len(num) && i < len(den); i++ {
+		dn := step(num[i-1], num[i])
+		dd := step(den[i-1], den[i])
+		if dn+dd > 0 {
+			out[i] = float64(dn) / float64(dn+dd)
+		}
+	}
+	return out
+}
+
+// last returns the final element of a series, 0 when empty.
+func last(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	return vals[len(vals)-1]
+}
+
+// scale multiplies every element, for unit conversions in display rows.
+func scale(vals []float64, by float64) []float64 {
+	out := make([]float64, len(vals))
+	for i, v := range vals {
+		out[i] = v * by
+	}
+	return out
+}
+
+// renderHistory formats one resolution of a history dump as the watch
+// frame: a header line plus one sparkline row per tracked series. Pure
+// (no I/O), so tests pin the layout directly.
+func renderHistory(res *obs.HistoryResolution, target string, width int) string {
+	var b strings.Builder
+	n := len(res.TimesUnixMS)
+	span := 0.0
+	if n > 1 {
+		span = res.OffsetSeconds[n-1] - res.OffsetSeconds[0]
+	}
+	fmt.Fprintf(&b, "transn watch — %s (%s, %gs interval, %d samples, %.0fs span)\n",
+		target, res.Name, res.IntervalSeconds, n, span)
+	row := func(label, unit string, vals []float64) {
+		fmt.Fprintf(&b, "  %-10s %s  %.4g%s\n", label, sparkline(vals, width), last(vals), unit)
+	}
+	row("req/s", "", res.Rates[obs.MetricServeRequests])
+	row("err/s", "", res.Rates[obs.MetricServeErrors])
+	if q, ok := res.Quantiles[obs.MetricServeLatency]; ok {
+		row("p99 ms", "ms", scale(q.P99, 1e3))
+		row("p50 ms", "ms", scale(q.P50, 1e3))
+	}
+	hit := deltaFractions(res.Counters[obs.MetricServeCacheHits], res.Counters[obs.MetricServeCacheMisses])
+	row("hit %", "%", scale(hit, 100))
+	if g, ok := res.Gauges[obs.MetricRuntimeGoroutines]; ok {
+		row("gorout", "", g)
+	}
+	if g, ok := res.Gauges[obs.MetricRuntimeHeapAlloc]; ok {
+		row("heap MB", "MB", scale(g, 1.0/(1<<20)))
+	}
+	return b.String()
+}
+
+// fetchHistory pulls and validates one /debug/history dump.
+func fetchHistory(client *http.Client, target string) (*obs.HistoryDump, error) {
+	resp, err := client.Get(strings.TrimRight(target, "/") + "/debug/history")
+	if err != nil {
+		return nil, fmt.Errorf("watch: fetching history: %w", err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return nil, fmt.Errorf("watch: reading history: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("watch: /debug/history answered %d (is the recorder enabled?)", resp.StatusCode)
+	}
+	if err := obs.ValidateHistoryDump(data); err != nil {
+		return nil, fmt.Errorf("watch: %w", err)
+	}
+	var dump obs.HistoryDump
+	if err := json.Unmarshal(data, &dump); err != nil {
+		return nil, fmt.Errorf("watch: decoding history: %w", err)
+	}
+	return &dump, nil
+}
+
+// pickResolution selects the named resolution from a validated dump.
+func pickResolution(dump *obs.HistoryDump, name string) (*obs.HistoryResolution, error) {
+	for i := range dump.Resolutions {
+		if dump.Resolutions[i].Name == name {
+			return &dump.Resolutions[i], nil
+		}
+	}
+	return nil, fmt.Errorf("watch: no resolution %q in dump (want %s or %s)",
+		name, obs.HistoryResFine, obs.HistoryResCoarse)
+}
+
+// cmdWatch polls a running transnserve's /debug/history endpoint and
+// renders a live terminal view of its windowed series. -frames bounds
+// the number of renders (CI and tests use -frames 1 for a single
+// still); 0 polls until interrupted.
+func cmdWatch(args []string) error {
+	fs := flag.NewFlagSet("watch", flag.ExitOnError)
+	target := fs.String("target", "", "base URL of a running transnserve (required)")
+	interval := fs.Duration("interval", 2*time.Second, "poll period between frames")
+	frames := fs.Int("frames", 0, "frames to render before exiting (0 = until interrupted)")
+	resName := fs.String("res", obs.HistoryResFine, "resolution to render: fine or coarse")
+	width := fs.Int("width", 60, "sparkline width in samples")
+	fs.Parse(args)
+	if *target == "" {
+		return fmt.Errorf("watch: -target is required")
+	}
+	if *width < 1 {
+		return fmt.Errorf("watch: -width must be positive")
+	}
+	client := &http.Client{Timeout: 10 * time.Second}
+	for n := 0; ; n++ {
+		if n > 0 {
+			time.Sleep(*interval)
+		}
+		dump, err := fetchHistory(client, *target)
+		if err != nil {
+			return err
+		}
+		res, err := pickResolution(dump, *resName)
+		if err != nil {
+			return err
+		}
+		if *frames != 1 && n > 0 {
+			fmt.Print("\x1b[H\x1b[2J") // home + clear between live frames
+		}
+		fmt.Print(renderHistory(res, *target, *width))
+		if *frames > 0 && n+1 >= *frames {
+			return nil
+		}
+	}
+}

@@ -1,0 +1,176 @@
+package main
+
+import (
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"transn/internal/obs"
+)
+
+func TestSparkline(t *testing.T) {
+	if got := sparkline(nil, 10); got != "" {
+		t.Fatalf("empty sparkline = %q", got)
+	}
+	if got := sparkline([]float64{0, 0, 0}, 10); got != "▁▁▁" {
+		t.Fatalf("flat sparkline = %q", got)
+	}
+	got := sparkline([]float64{0, 1, 2, 4}, 10)
+	runes := []rune(got)
+	if len(runes) != 4 {
+		t.Fatalf("sparkline width = %d, want 4", len(runes))
+	}
+	if runes[0] != '▁' || runes[3] != '█' {
+		t.Fatalf("sparkline %q: min/max glyphs wrong", got)
+	}
+	// Longer than width: only the newest values render.
+	if got := sparkline([]float64{9, 9, 9, 0, 0}, 2); got != "▁▁" {
+		t.Fatalf("truncated sparkline = %q, want newest-two baseline", got)
+	}
+	// NaN renders as the baseline, never panics or skews the scale.
+	if got := sparkline([]float64{math.NaN(), 1}, 10); []rune(got)[0] != '▁' {
+		t.Fatalf("NaN sparkline = %q", got)
+	}
+}
+
+func TestDeltaFractions(t *testing.T) {
+	hits := []int64{0, 6, 6, 9}
+	misses := []int64{0, 2, 2, 10}
+	got := deltaFractions(hits, misses)
+	want := []float64{0, 0.75, 0, 3.0 / 11.0}
+	if len(got) != len(want) {
+		t.Fatalf("len = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("fraction[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	// A counter reset mid-series stays within [0, 1].
+	got = deltaFractions([]int64{100, 3}, []int64{50, 1})
+	if got[1] != 0.75 {
+		t.Fatalf("reset fraction = %v, want 3/(3+1)", got[1])
+	}
+	if out := deltaFractions(nil, nil); len(out) != 0 {
+		t.Fatalf("empty series produced %v", out)
+	}
+}
+
+// watchDump builds a real two-sample history dump through the obs
+// package, so the renderer is tested against the genuine schema.
+func watchDump(t *testing.T) *obs.HistoryDump {
+	t.Helper()
+	reg := obs.NewRegistry()
+	reqs := reg.Counter(obs.MetricServeRequests)
+	reg.Counter(obs.MetricServeErrors)
+	hits := reg.Counter(obs.MetricServeCacheHits)
+	misses := reg.Counter(obs.MetricServeCacheMisses)
+	lat := reg.Histogram(obs.MetricServeLatency, []float64{0.01, 0.1, 1})
+	gor := reg.Gauge(obs.MetricRuntimeGoroutines)
+	heap := reg.Gauge(obs.MetricRuntimeHeapAlloc)
+	h := obs.NewHistory(reg, obs.HistoryConfig{FineCapacity: 16, CoarseCapacity: 8})
+	stop := h.Start() // first sample of both rings
+	stop()
+	reqs.Add(20)
+	hits.Add(6)
+	misses.Add(2)
+	lat.Observe(0.05)
+	lat.Observe(0.05)
+	gor.Set(12)
+	heap.Set(64 << 20)
+	// A second fine sample via a fresh Start (immediate sample) keeps
+	// this test off unexported history internals.
+	stop = h.Start()
+	stop()
+	return h.Dump()
+}
+
+func TestRenderHistory(t *testing.T) {
+	dump := watchDump(t)
+	res, err := pickResolution(dump, obs.HistoryResFine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := renderHistory(res, "http://localhost:7077", 40)
+	for _, want := range []string{
+		"transn watch — http://localhost:7077",
+		"fine", "2 samples",
+		"req/s", "err/s", "p99 ms", "p50 ms", "hit %", "gorout", "heap MB",
+	} {
+		if !strings.Contains(frame, want) {
+			t.Fatalf("frame missing %q:\n%s", want, frame)
+		}
+	}
+	// The newest goroutine reading lands as the row's numeric value.
+	if !strings.Contains(frame, "12") {
+		t.Fatalf("frame does not show the goroutine gauge value:\n%s", frame)
+	}
+	// Coarse resolution renders too.
+	coarse, err := pickResolution(dump, obs.HistoryResCoarse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := renderHistory(coarse, "t", 40); !strings.Contains(out, "coarse") {
+		t.Fatalf("coarse frame wrong:\n%s", out)
+	}
+	if _, err := pickResolution(dump, "hourly"); err == nil {
+		t.Fatal("unknown resolution resolved")
+	}
+}
+
+func TestFetchHistory(t *testing.T) {
+	dump := watchDump(t)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/debug/history" {
+			http.NotFound(w, r)
+			return
+		}
+		obs.WriteHistoryDump(w, dump)
+	}))
+	defer srv.Close()
+
+	got, err := fetchHistory(srv.Client(), srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != obs.HistorySchema || len(got.Resolutions) != 2 {
+		t.Fatalf("fetched dump wrong: %+v", got)
+	}
+
+	// Non-200 (recorder disabled) is a useful error, not a decode panic.
+	down := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "no recorder", http.StatusNotFound)
+	}))
+	defer down.Close()
+	if _, err := fetchHistory(down.Client(), down.URL); err == nil || !strings.Contains(err.Error(), "404") {
+		t.Fatalf("disabled-recorder fetch: err = %v", err)
+	}
+
+	// Corrupt documents are rejected by validation.
+	bad := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{"schema": "transn.history/v9", "resolutions": []}`))
+	}))
+	defer bad.Close()
+	if _, err := fetchHistory(bad.Client(), bad.URL); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Fatalf("corrupt fetch: err = %v", err)
+	}
+}
+
+func TestCmdWatchSingleFrame(t *testing.T) {
+	dump := watchDump(t)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		obs.WriteHistoryDump(w, dump)
+	}))
+	defer srv.Close()
+	if err := cmdWatch([]string{"-target", srv.URL, "-frames", "1"}); err != nil {
+		t.Fatalf("single-frame watch failed: %v", err)
+	}
+	if err := cmdWatch([]string{"-frames", "1"}); err == nil {
+		t.Fatal("watch without -target succeeded")
+	}
+	if err := cmdWatch([]string{"-target", srv.URL, "-frames", "1", "-width", "0"}); err == nil {
+		t.Fatal("watch with zero width succeeded")
+	}
+}

@@ -12,11 +12,25 @@
 // structured JSON access/slow log lines. -trace-rate -1 disables
 // tracing entirely (the disabled path allocates nothing).
 //
+// A metrics flight recorder samples the registry into two
+// fixed-capacity rings (default 1s×300 and 10s×360) served at
+// /debug/history as transn.history/v1 dumps (`transn watch` renders
+// them live). -watchdog-rules loads declarative SLO burn-rate rules
+// evaluated over those windows; a tripped rule WARNs, flips the
+// /readyz degraded detail, and — with -anomaly-dir — captures a
+// bounded-retention anomaly bundle (heap + goroutine profiles, history
+// and slow-ring dumps).
+//
 // Usage:
 //
 //	transnserve -graph network.tsv -model model.gob [-addr :8080] \
 //	    [-trace-head 64] [-trace-rate 64] [-trace-ring 256] \
-//	    [-slow-ring 64] [-slow-threshold 250ms] [-log]
+//	    [-slow-ring 64] [-slow-threshold 250ms] [-log] \
+//	    [-history-fine 1s] [-history-fine-ring 300] \
+//	    [-history-coarse 10s] [-history-coarse-ring 360] \
+//	    [-watchdog-rules rules.json] [-watchdog-interval 1s] \
+//	    [-anomaly-dir dir] [-anomaly-keep 8] [-anomaly-cooldown 30s] \
+//	    [-runtime-poll 5s]
 package main
 
 import (
@@ -28,6 +42,7 @@ import (
 	"syscall"
 	"time"
 
+	"transn/internal/obs"
 	"transn/internal/serve"
 )
 
@@ -54,6 +69,16 @@ func run(args []string) error {
 	slowRing := fs.Int("slow-ring", 0, "slow-trace ring capacity served at /debug/slow (0 = default 64)")
 	slowThreshold := fs.Duration("slow-threshold", 0, "requests at or above this duration are always kept and logged as slow (0 = default 250ms, negative disables)")
 	logJSON := fs.Bool("log", false, "emit structured JSON access/slow log lines on stderr")
+	historyFine := fs.Duration("history-fine", 0, "fine history sampling interval (0 = default 1s, negative disables the recorder)")
+	historyFineRing := fs.Int("history-fine-ring", 0, "fine history ring capacity (0 = default 300)")
+	historyCoarse := fs.Duration("history-coarse", 0, "coarse history sampling interval (0 = default 10s)")
+	historyCoarseRing := fs.Int("history-coarse-ring", 0, "coarse history ring capacity (0 = default 360)")
+	watchRules := fs.String("watchdog-rules", "", "SLO burn-rate rules JSON file; tripped rules WARN and flip the /readyz degraded detail")
+	watchInterval := fs.Duration("watchdog-interval", 0, "watchdog evaluation period (0 = default 1s)")
+	anomalyDir := fs.String("anomaly-dir", "", "directory for anomaly bundles captured when a watchdog rule trips (empty disables capture)")
+	anomalyKeep := fs.Int("anomaly-keep", 0, "max anomaly bundles retained, oldest deleted first (0 = default 8)")
+	anomalyCooldown := fs.Duration("anomaly-cooldown", 0, "min spacing between anomaly captures (0 = default 30s)")
+	runtimePoll := fs.Duration("runtime-poll", 0, "runtime health gauge polling interval (0 = default 5s, negative disables)")
 	fs.Parse(args)
 	if *graphPath == "" || *modelPath == "" {
 		return fmt.Errorf("-graph and -model are required")
@@ -63,21 +88,43 @@ func run(args []string) error {
 	if *logJSON {
 		logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
 	}
+	var rules *obs.WatchConfig
+	if *watchRules != "" {
+		data, err := os.ReadFile(*watchRules)
+		if err != nil {
+			return fmt.Errorf("reading -watchdog-rules: %w", err)
+		}
+		rules, err = obs.ParseWatchRules(data)
+		if err != nil {
+			return err
+		}
+	}
 	sv, err := serve.New(serve.Config{
-		GraphPath:          *graphPath,
-		ModelPath:          *modelPath,
-		CacheSize:          *cacheSize,
-		TranslateWorkers:   *workers,
-		RequestTimeout:     *timeout,
-		DrainTimeout:       *drain,
-		MaxK:               *maxK,
-		TraceDisabled:      *traceRate < 0,
-		TraceSampleHead:    *traceHead,
-		TraceSampleRate:    *traceRate,
-		TraceRingSize:      *traceRing,
-		TraceSlowRingSize:  *slowRing,
-		TraceSlowThreshold: *slowThreshold,
-		Logger:             logger,
+		GraphPath:             *graphPath,
+		ModelPath:             *modelPath,
+		CacheSize:             *cacheSize,
+		TranslateWorkers:      *workers,
+		RequestTimeout:        *timeout,
+		DrainTimeout:          *drain,
+		MaxK:                  *maxK,
+		TraceDisabled:         *traceRate < 0,
+		TraceSampleHead:       *traceHead,
+		TraceSampleRate:       *traceRate,
+		TraceRingSize:         *traceRing,
+		TraceSlowRingSize:     *slowRing,
+		TraceSlowThreshold:    *slowThreshold,
+		Logger:                logger,
+		RuntimePollInterval:   *runtimePoll,
+		HistoryDisabled:       *historyFine < 0,
+		HistoryFineInterval:   *historyFine,
+		HistoryFineRing:       *historyFineRing,
+		HistoryCoarseInterval: *historyCoarse,
+		HistoryCoarseRing:     *historyCoarseRing,
+		WatchRules:            rules,
+		WatchInterval:         *watchInterval,
+		AnomalyDir:            *anomalyDir,
+		AnomalyKeep:           *anomalyKeep,
+		AnomalyCooldown:       *anomalyCooldown,
 	})
 	if err != nil {
 		return err

@@ -101,6 +101,10 @@ const (
 	// TraceStage value) — structured-log field names are a published
 	// schema consumers grep and parse.
 	CodeSchemaLogKey = "schema.log-key"
+	// CodeSchemaWatchCode: a constant obs.WatchEvent Code outside the
+	// declared WatchCode* constant set — the SLO watchdog's rule-code
+	// vocabulary ships in WARN logs and anomaly bundles.
+	CodeSchemaWatchCode = "schema.watch-code"
 
 	// CodeDocMissing: an exported top-level symbol (or a package clause)
 	// without a doc comment — the public API surface stays documented,

@@ -22,6 +22,7 @@ type schemaSets struct {
 	codes       set // diag Code* constants: finding codes
 	traceStages set // obs TraceStage-typed constants: request trace stages
 	logKeys     set // obs LogKey* constants: structured-log field names
+	watchCodes  set // obs WatchCode* constants: SLO watchdog rule codes
 }
 
 type set map[string]bool
@@ -75,7 +76,7 @@ func collectSchemaSets(m *Module, opts Options) *schemaSets {
 	sets := &schemaSets{
 		obsPath: opts.SchemaObsPkg, diagPath: opts.SchemaDiagPkg,
 		metrics: set{}, spans: set{}, stages: set{}, levels: set{}, codes: set{},
-		traceStages: set{}, logKeys: set{},
+		traceStages: set{}, logKeys: set{}, watchCodes: set{},
 	}
 	harvest := func(pkg *Package, prefix string, dst set, typeName string) {
 		if pkg == nil || pkg.Types == nil {
@@ -104,6 +105,7 @@ func collectSchemaSets(m *Module, opts Options) *schemaSets {
 	harvest(obs, "Level", sets.levels, "")
 	harvest(obs, "", sets.traceStages, "TraceStage")
 	harvest(obs, "LogKey", sets.logKeys, "")
+	harvest(obs, "WatchCode", sets.watchCodes, "")
 	harvest(diag, "Code", sets.codes, "")
 	// Every stage string is also a valid span name: the tracer times
 	// the same Algorithm 1 phases the event stream labels.
@@ -226,28 +228,39 @@ func checkSchemaComposite(m *Module, pkg *Package, lit *ast.CompositeLit, sets *
 	case namedIn(tv.Type, sets.obsPath, "TrainEvent"):
 		check("Stage", CodeSchemaStage, sets.stages, "event stage")
 		check("Level", CodeSchemaLevel, sets.levels, "event level")
+	case namedIn(tv.Type, sets.obsPath, "WatchEvent"):
+		check("Code", CodeSchemaWatchCode, sets.watchCodes, "watchdog rule code")
 	case namedIn(tv.Type, sets.diagPath, "Finding"):
 		check("Code", CodeSchemaFindingCode, sets.codes, "finding code")
 	}
 }
 
-// checkSchemaIndex validates constant keys used to index the report's
-// Counters/Gauges/Histograms maps — the read side of the metric schema.
+// checkSchemaIndex validates constant keys used to index the metric-
+// keyed maps of schema-stable documents — the read side of the metric
+// schema: Report/Snapshot Counters/Gauges/Histograms, and the history
+// dump's per-resolution Counters/Rates/Gauges/Quantiles series (history
+// series keys ARE metric names, so a consumer indexing them with a
+// drifted string reads an always-empty series).
 func checkSchemaIndex(m *Module, pkg *Package, idx *ast.IndexExpr, sets *schemaSets, report func(Finding)) {
 	sel, ok := ast.Unparen(idx.X).(*ast.SelectorExpr)
 	if !ok {
-		return
-	}
-	switch sel.Sel.Name {
-	case "Counters", "Gauges", "Histograms":
-	default:
 		return
 	}
 	base, ok := pkg.Info.Types[sel.X]
 	if !ok || base.Type == nil {
 		return
 	}
-	if !namedIn(base.Type, sets.obsPath, "Report") && !namedIn(base.Type, sets.obsPath, "Snapshot") {
+	switch sel.Sel.Name {
+	case "Counters", "Gauges", "Histograms":
+		if !namedIn(base.Type, sets.obsPath, "Report") && !namedIn(base.Type, sets.obsPath, "Snapshot") &&
+			!namedIn(base.Type, sets.obsPath, "HistoryResolution") {
+			return
+		}
+	case "Rates", "Quantiles":
+		if !namedIn(base.Type, sets.obsPath, "HistoryResolution") {
+			return
+		}
+	default:
 		return
 	}
 	if name, ok := constString(pkg, idx.Index); ok && !sets.metrics[name] {

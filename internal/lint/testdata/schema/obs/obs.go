@@ -49,6 +49,24 @@ const TraceStageDecode TraceStage = "decode"
 // fixture.
 const LogKeyRequestID = "request_id"
 
+// WatchCodeP99 is the only declared watchdog rule code in the fixture.
+const WatchCodeP99 = "watch.p99_budget"
+
+// WatchEvent is one watchdog trip record.
+type WatchEvent struct {
+	Rule string
+	Code string
+}
+
+// HistoryResolution is one resolution of the fixture's history dump;
+// its series maps are keyed by declared metric names.
+type HistoryResolution struct {
+	Counters  map[string][]int64
+	Rates     map[string][]float64
+	Gauges    map[string][]float64
+	Quantiles map[string][]float64
+}
+
 // ReqTrace is one request's in-flight trace.
 type ReqTrace struct{}
 

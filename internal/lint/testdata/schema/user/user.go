@@ -33,6 +33,18 @@ func use(r *obs.Registry, t *obs.Tracer, rep obs.Report, dynamic string) {
 	tr.EndStage(obs.TraceStageDecode)
 	tr.EndStage("froward") // want schema.trace-stage
 
+	_ = obs.WatchEvent{Rule: dynamic, Code: obs.WatchCodeP99}
+	_ = obs.WatchEvent{Code: "watch.p99_budgit"} // want schema.watch-code
+
+	var res obs.HistoryResolution
+	_ = res.Counters[obs.MetricPairs]
+	_ = res.Counters["skipgram.pears"] // want schema.metric-name
+	_ = res.Rates[obs.MetricPairs]
+	_ = res.Rates["skipgram.pares"] // want schema.metric-name
+	_ = res.Gauges["walk.depthz"]   // want schema.metric-name
+	_ = res.Quantiles[obs.MetricPairs]
+	_ = res.Quantiles[dynamic]
+
 	_ = slog.String(obs.LogKeyRequestID, dynamic)
 	_ = slog.String("requist_id", dynamic) // want schema.log-key
 	_ = slog.Float64(string(obs.TraceStageDecode), 1)

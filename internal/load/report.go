@@ -128,6 +128,13 @@ type Report struct {
 	// with Joined == 0 when the server kept no traces (tracing
 	// disabled or the run's IDs aged out of the rings).
 	Tail *TailStats `json:"tail,omitempty"`
+
+	// History is the server's /debug/history flight-recorder dump
+	// fetched right after the measured window: the run's rate, p99 and
+	// hit-rate *curves*, not just end-of-run scalars, so a latency
+	// excursion mid-run is visible in the committed BENCH_serve.json.
+	// Nil when the fetch failed (recorder disabled, old server).
+	History *obs.HistoryDump `json:"history,omitempty"`
 }
 
 // WriteReport writes the report as indented JSON with a trailing
@@ -260,6 +267,11 @@ func Validate(data []byte) error {
 	if rep.Tail != nil {
 		if err := validateTail(rep.Tail, known); err != nil {
 			return err
+		}
+	}
+	if rep.History != nil {
+		if err := obs.CheckHistoryDump(rep.History); err != nil {
+			return fmt.Errorf("history section: %w", err)
 		}
 	}
 	return nil

@@ -117,6 +117,9 @@ func TestValidateRejections(t *testing.T) {
 		{"bad server stats", func(r *Report) {
 			r.Server = &ServerStats{CacheHitRate: 2}
 		}, "cache_hit_rate"},
+		{"bad history section", func(r *Report) {
+			r.History = &obs.HistoryDump{Schema: "transn.history/v9"}
+		}, "history section"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -130,6 +133,21 @@ func TestValidateRejections(t *testing.T) {
 				t.Fatalf("error %q does not mention %q", err, tc.wantSub)
 			}
 		})
+	}
+}
+
+// TestValidateAcceptsHistorySection pins the optional embedded history:
+// a genuine recorder dump attached to the report must validate, and its
+// absence must stay legal (older harnesses, history-disabled servers).
+func TestValidateAcceptsHistorySection(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter(obs.MetricServeRequests).Add(3)
+	h := obs.NewHistory(reg, obs.HistoryConfig{FineCapacity: 8, CoarseCapacity: 4})
+	h.Start()() // one immediate sample in both rings, then stop
+	rep := validReport()
+	rep.History = h.Dump()
+	if err := Validate(encode(t, rep)); err != nil {
+		t.Fatalf("report with a real history section rejected: %v", err)
 	}
 }
 

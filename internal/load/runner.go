@@ -275,6 +275,7 @@ func Run(p Profile, inv *Inventory) (*Report, error) {
 		rep.Server = serverDelta(before, after)
 	}
 	rep.Tail = buildTail(p.SlowN, out.slowest, fetchServerTraces(client, target))
+	rep.History = fetchHistoryDump(client, target)
 	return rep, nil
 }
 

@@ -107,6 +107,33 @@ func fetchServerTraces(client *http.Client, base string) map[string]obs.TraceRec
 	return byID
 }
 
+// fetchHistoryDump GETs the server's /debug/history flight-recorder
+// dump, validating the document before trusting it. Any failure
+// (recorder disabled server-side, old server, corrupt dump) degrades to
+// nil — the curves are additive context, not a run requirement.
+func fetchHistoryDump(client *http.Client, base string) *obs.HistoryDump {
+	resp, err := client.Get(base + "/debug/history")
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil
+	}
+	if err := obs.ValidateHistoryDump(data); err != nil {
+		return nil
+	}
+	var d obs.HistoryDump
+	if err := json.Unmarshal(data, &d); err != nil {
+		return nil
+	}
+	return &d
+}
+
 // buildTail joins the collector's slowest-N client observations against
 // the server traces. slowest must be sorted slowest-first. Returns nil
 // when the tail was disabled or nothing was measured.

@@ -1,0 +1,476 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// historyBounds is a small latency bucket layout for tests.
+var historyBounds = []float64{0.01, 0.1, 1}
+
+func TestResetSafeDelta(t *testing.T) {
+	cases := []struct {
+		prev, cur, want int64
+	}{
+		{0, 0, 0},
+		{0, 5, 5},
+		{5, 12, 7},
+		{12, 3, 3},  // reset: best estimate is the new cumulative value
+		{100, 0, 0}, // reset to zero
+	}
+	for _, c := range cases {
+		if got := resetSafeDelta(c.prev, c.cur); got != c.want {
+			t.Errorf("resetSafeDelta(%d, %d) = %d, want %d", c.prev, c.cur, got, c.want)
+		}
+	}
+}
+
+func TestWindowHistDelta(t *testing.T) {
+	dst := HistSnapshot{Bounds: historyBounds, Counts: make([]int64, 4)}
+
+	// Normal growth: per-bucket and total deltas.
+	windowHistDelta(&dst, []int64{3, 5, 0, 1}, []int64{1, 2, 0, 0}, 9, 3, 4.5, 1.5)
+	if dst.Count != 6 || dst.Sum != 3 {
+		t.Fatalf("growth delta: count=%d sum=%v, want 6, 3", dst.Count, dst.Sum)
+	}
+	for i, want := range []int64{2, 3, 0, 1} {
+		if dst.Counts[i] != want {
+			t.Fatalf("bucket %d delta = %d, want %d", i, dst.Counts[i], want)
+		}
+	}
+
+	// Counter reset mid-window: the newer cumulative reading wins wholesale.
+	windowHistDelta(&dst, []int64{2, 1, 0, 0}, []int64{5, 5, 1, 1}, 3, 12, 0.7, 9)
+	if dst.Count != 3 || dst.Sum != 0.7 {
+		t.Fatalf("reset delta: count=%d sum=%v, want 3, 0.7", dst.Count, dst.Sum)
+	}
+	if dst.Counts[0] != 2 || dst.Counts[1] != 1 {
+		t.Fatalf("reset delta buckets = %v, want cur reading [2 1 0 0]", dst.Counts)
+	}
+
+	// Negative sum with grown count (sum reset alone): fall back to cur sum.
+	windowHistDelta(&dst, []int64{6, 5, 1, 1}, []int64{5, 5, 1, 1}, 13, 12, 0.2, 9)
+	if dst.Sum != 0.2 {
+		t.Fatalf("negative-sum fallback: sum=%v, want 0.2", dst.Sum)
+	}
+}
+
+// driveHistory builds a registry with one counter, gauge and histogram
+// and a history over them with the given fine capacity.
+func driveHistory(t *testing.T, fineCap int) (*Registry, *History) {
+	t.Helper()
+	reg := NewRegistry()
+	reg.Counter("serve.requests")
+	reg.Gauge("runtime.goroutines")
+	reg.Histogram("serve.latency_seconds", historyBounds)
+	h := NewHistory(reg, HistoryConfig{FineCapacity: fineCap, CoarseCapacity: 4})
+	return reg, h
+}
+
+func TestHistoryEmptyRingDump(t *testing.T) {
+	_, h := driveHistory(t, 8)
+	d := h.Dump()
+	if err := CheckHistoryDump(d); err != nil {
+		t.Fatalf("empty dump invalid: %v", err)
+	}
+	fine := d.Resolutions[0]
+	if fine.Taken != 0 || len(fine.TimesUnixMS) != 0 {
+		t.Fatalf("empty ring dump has samples: taken=%d n=%d", fine.Taken, len(fine.TimesUnixMS))
+	}
+	if len(fine.Counters["serve.requests"]) != 0 {
+		t.Fatal("empty ring produced counter points")
+	}
+	if _, ok := h.Window(60); ok {
+		t.Fatal("Window reported ok over an empty ring")
+	}
+}
+
+func TestHistoryPartialFirstWindow(t *testing.T) {
+	reg, h := driveHistory(t, 8)
+	reg.Counter("serve.requests").Add(7)
+	h.sampleFine()
+	if _, ok := h.Window(60); ok {
+		t.Fatal("Window reported ok with a single sample (no delta exists)")
+	}
+	d := h.Dump()
+	fine := d.Resolutions[0]
+	if got := fine.Counters["serve.requests"]; len(got) != 1 || got[0] != 7 {
+		t.Fatalf("counters = %v, want [7]", got)
+	}
+	// Element 0 covers an unknown partial window: rate must be zero.
+	if got := fine.Rates["serve.requests"]; len(got) != 1 || got[0] != 0 {
+		t.Fatalf("rates = %v, want [0]", got)
+	}
+	if err := CheckHistoryDump(d); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistoryDumpSeries(t *testing.T) {
+	reg, h := driveHistory(t, 8)
+	c := reg.Counter("serve.requests")
+	g := reg.Gauge("runtime.goroutines")
+	hist := reg.Histogram("serve.latency_seconds", historyBounds)
+
+	g.Set(3)
+	h.sampleFine()
+	c.Add(10)
+	g.Set(5)
+	for i := 0; i < 4; i++ {
+		hist.Observe(0.05)
+	}
+	h.sampleFine()
+	c.Add(2)
+	h.sampleFine()
+
+	d := h.Dump()
+	if err := CheckHistoryDump(d); err != nil {
+		t.Fatal(err)
+	}
+	fine := d.Resolutions[0]
+	if want := []int64{0, 10, 12}; !equalInt64(fine.Counters["serve.requests"], want) {
+		t.Fatalf("counter series = %v, want %v", fine.Counters["serve.requests"], want)
+	}
+	rates := fine.Rates["serve.requests"]
+	if rates[0] != 0 || rates[1] <= 0 || rates[2] <= 0 {
+		t.Fatalf("rates = %v, want [0, >0, >0]", rates)
+	}
+	if gs := fine.Gauges["runtime.goroutines"]; gs[0] != 3 || gs[1] != 5 || gs[2] != 5 {
+		t.Fatalf("gauge series = %v, want [3 5 5]", gs)
+	}
+	q, ok := fine.Quantiles["serve.latency_seconds"]
+	if !ok {
+		t.Fatal("no quantile series for the tracked histogram")
+	}
+	if !equalInt64(q.Count, []int64{0, 4, 0}) {
+		t.Fatalf("quantile counts = %v, want [0 4 0]", q.Count)
+	}
+	if q.P99[1] <= 0 || q.P99[1] > 0.1 {
+		t.Fatalf("windowed p99 = %v, want within (0, 0.1] for 0.05s observations", q.P99[1])
+	}
+	if q.P99[0] != 0 || q.P99[2] != 0 {
+		t.Fatalf("empty-window quantiles = %v/%v, want 0", q.P99[0], q.P99[2])
+	}
+
+	// The serialized form round-trips through the validator.
+	var buf bytes.Buffer
+	if err := WriteHistoryDump(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateHistoryDump(buf.Bytes()); err != nil {
+		t.Fatalf("serialized dump invalid: %v", err)
+	}
+}
+
+func TestHistoryCounterResetMidWindow(t *testing.T) {
+	reg, h := driveHistory(t, 8)
+	c := reg.Counter("serve.requests")
+	c.Add(100)
+	h.sampleFine()
+	// Simulate a restart: the cumulative value drops to 3.
+	c.Add(-97)
+	h.sampleFine()
+	d := h.Dump()
+	if err := CheckHistoryDump(d); err != nil {
+		t.Fatalf("reset window produced an invalid dump: %v", err)
+	}
+	rates := d.Resolutions[0].Rates["serve.requests"]
+	if rates[1] < 0 {
+		t.Fatalf("reset window rate = %v, want >= 0 (reset-safe)", rates[1])
+	}
+}
+
+func TestHistoryWraparoundOracle(t *testing.T) {
+	reg, h := driveHistory(t, 5)
+	c := reg.Counter("serve.requests")
+	// Oracle: the full cumulative sequence, appended per sample.
+	var oracle []int64
+	for i := 0; i < 12; i++ {
+		c.Add(1)
+		oracle = append(oracle, c.Value())
+		h.sampleFine()
+	}
+	d := h.Dump()
+	if err := CheckHistoryDump(d); err != nil {
+		t.Fatal(err)
+	}
+	fine := d.Resolutions[0]
+	if fine.Taken != 12 || fine.Capacity != 5 {
+		t.Fatalf("taken=%d capacity=%d, want 12, 5", fine.Taken, fine.Capacity)
+	}
+	want := oracle[len(oracle)-5:] // the ring keeps the newest 5, oldest first
+	if !equalInt64(fine.Counters["serve.requests"], want) {
+		t.Fatalf("wrapped series = %v, want %v", fine.Counters["serve.requests"], want)
+	}
+	for i := 1; i < len(fine.TimesUnixMS); i++ {
+		if fine.TimesUnixMS[i] < fine.TimesUnixMS[i-1] {
+			t.Fatal("wrapped dump times not oldest-first")
+		}
+	}
+}
+
+func TestHistoryWindowAggregates(t *testing.T) {
+	reg := NewRegistry()
+	reqs := reg.Counter(MetricServeRequests)
+	errs := reg.Counter(MetricServeErrors)
+	hits := reg.Counter(MetricServeCacheHits)
+	misses := reg.Counter(MetricServeCacheMisses)
+	lat := reg.Histogram(MetricServeLatency, historyBounds)
+	gor := reg.Gauge(MetricRuntimeGoroutines)
+	heap := reg.Gauge(MetricRuntimeHeapAlloc)
+	h := NewHistory(reg, HistoryConfig{FineCapacity: 16, CoarseCapacity: 4})
+
+	gor.Set(50)
+	heap.Set(1 << 20)
+	h.sampleFine()
+	reqs.Add(10)
+	errs.Add(2)
+	hits.Add(6)
+	misses.Add(2)
+	for i := 0; i < 10; i++ {
+		lat.Observe(0.05)
+	}
+	gor.Set(20)
+	h.sampleFine()
+
+	w, ok := h.Window(3600)
+	if !ok {
+		t.Fatal("Window not ok with two samples")
+	}
+	if w.Samples != 2 {
+		t.Fatalf("Samples = %d, want 2", w.Samples)
+	}
+	if w.Requests != 10 || w.Errors != 2 {
+		t.Fatalf("Requests/Errors = %d/%d, want 10/2", w.Requests, w.Errors)
+	}
+	if w.ErrorRate != 0.2 {
+		t.Fatalf("ErrorRate = %v, want 0.2", w.ErrorRate)
+	}
+	if w.CacheLookups != 8 || w.CacheHitRate != 0.75 {
+		t.Fatalf("CacheLookups/HitRate = %d/%v, want 8/0.75", w.CacheLookups, w.CacheHitRate)
+	}
+	if w.P99Seconds <= 0 || w.P99Seconds > 0.1 {
+		t.Fatalf("P99Seconds = %v, want within (0, 0.1]", w.P99Seconds)
+	}
+	if w.MaxGoroutines != 50 {
+		t.Fatalf("MaxGoroutines = %v, want the window max 50", w.MaxGoroutines)
+	}
+	if w.MaxHeapBytes != 1<<20 {
+		t.Fatalf("MaxHeapBytes = %v, want %d", w.MaxHeapBytes, 1<<20)
+	}
+}
+
+// TestHistoryWraparoundHammer drives 12 concurrent metric writers
+// against a sampling/dumping reader; under -race this pins the
+// atomic-load sampling discipline, and every dump must stay valid with
+// monotone counter series.
+func TestHistoryWraparoundHammer(t *testing.T) {
+	reg, h := driveHistory(t, 7)
+	c := reg.Counter("serve.requests")
+	g := reg.Gauge("runtime.goroutines")
+	hist := reg.Histogram("serve.latency_seconds", historyBounds)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 12; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; ; j++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c.Add(1)
+				g.Set(float64(i*1000 + j))
+				hist.Observe(0.02)
+			}
+		}(i)
+	}
+	for round := 0; round < 200; round++ {
+		h.sampleFine()
+		if round%20 != 0 {
+			continue
+		}
+		d := h.Dump()
+		if err := CheckHistoryDump(d); err != nil {
+			t.Fatalf("round %d: concurrent dump invalid: %v", round, err)
+		}
+		series := d.Resolutions[0].Counters["serve.requests"]
+		for i := 1; i < len(series); i++ {
+			if series[i] < series[i-1] {
+				t.Fatalf("round %d: monotone counter went backwards: %v", round, series)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestHistorySampleZeroAlloc(t *testing.T) {
+	reg, h := driveHistory(t, 300)
+	reg.Counter("serve.requests").Add(5)
+	reg.Histogram("serve.latency_seconds", historyBounds).Observe(0.05)
+	// Warm both rings, then pin the steady-state tick allocation.
+	h.sampleFine()
+	if allocs := testing.AllocsPerRun(100, h.sampleFine); allocs != 0 {
+		t.Fatalf("sample tick allocates %v objects per run, want 0", allocs)
+	}
+}
+
+func TestHistoryStartStop(t *testing.T) {
+	reg, h := driveHistory(t, 64)
+	reg.Counter("serve.requests").Add(1)
+	hFast := NewHistory(reg, HistoryConfig{
+		FineInterval: 2 * time.Millisecond, FineCapacity: 64,
+		CoarseInterval: 5 * time.Millisecond, CoarseCapacity: 16,
+	})
+	stop := hFast.Start()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		d := hFast.Dump()
+		if d.Resolutions[0].Taken >= 3 && d.Resolutions[1].Taken >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("sampler took no ticker-driven samples within 2s")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	stop()
+	stop() // idempotent
+	taken := hFast.Dump().Resolutions[0].Taken
+	time.Sleep(10 * time.Millisecond)
+	if got := hFast.Dump().Resolutions[0].Taken; got != taken {
+		t.Fatalf("sampler kept running after stop: taken %d -> %d", taken, got)
+	}
+
+	_ = h // plain recorder unused beyond construction
+	var nilH *History
+	nilH.Start()() // nil recorder yields a no-op stop
+	if nilH.Dump() != nil {
+		t.Fatal("nil history dumped a document")
+	}
+}
+
+func TestCheckHistoryDumpCorruption(t *testing.T) {
+	reg, h := driveHistory(t, 8)
+	c := reg.Counter("serve.requests")
+	hist := reg.Histogram("serve.latency_seconds", historyBounds)
+	for i := 0; i < 3; i++ {
+		c.Add(4)
+		hist.Observe(0.05)
+		h.sampleFine()
+		h.sampleCoarse()
+	}
+	pristine := h.Dump()
+	if err := CheckHistoryDump(pristine); err != nil {
+		t.Fatalf("pristine dump invalid: %v", err)
+	}
+
+	cases := []struct {
+		name   string
+		mutate func(d *HistoryDump)
+		want   string
+	}{
+		{"nil dump is handled by caller", nil, "history dump is nil"},
+		{"wrong schema", func(d *HistoryDump) { d.Schema = "transn.history/v2" }, "schema"},
+		{"missing resolution", func(d *HistoryDump) { d.Resolutions = d.Resolutions[:1] }, "resolutions"},
+		{"swapped resolutions", func(d *HistoryDump) {
+			d.Resolutions[0], d.Resolutions[1] = d.Resolutions[1], d.Resolutions[0]
+		}, "in order"},
+		{"bad interval", func(d *HistoryDump) { d.Resolutions[0].IntervalSeconds = 0 }, "interval_seconds"},
+		{"bad capacity", func(d *HistoryDump) { d.Resolutions[0].Capacity = 0 }, "capacity"},
+		{"over capacity", func(d *HistoryDump) { d.Resolutions[0].Capacity = 1 }, "over capacity"},
+		{"taken below samples", func(d *HistoryDump) { d.Resolutions[0].Taken = 1 }, "taken"},
+		{"offsets length", func(d *HistoryDump) {
+			d.Resolutions[0].OffsetSeconds = d.Resolutions[0].OffsetSeconds[:1]
+		}, "offset_seconds length"},
+		{"times decrease", func(d *HistoryDump) { d.Resolutions[0].TimesUnixMS[2] = 0 }, "times_unix_ms decreases"},
+		{"offsets decrease", func(d *HistoryDump) { d.Resolutions[0].OffsetSeconds[2] = -1 }, "offset_seconds decreases"},
+		{"counter length", func(d *HistoryDump) {
+			d.Resolutions[0].Counters["serve.requests"] = []int64{1}
+		}, "counter"},
+		{"negative counter", func(d *HistoryDump) {
+			d.Resolutions[0].Counters["serve.requests"][0] = -1
+		}, "negative"},
+		{"rate length", func(d *HistoryDump) {
+			d.Resolutions[0].Rates["serve.requests"] = []float64{1}
+		}, "rate"},
+		{"orphan rate", func(d *HistoryDump) {
+			d.Resolutions[0].Rates["serve.ghost"] = make([]float64, len(d.Resolutions[0].TimesUnixMS))
+		}, "no matching counter"},
+		{"negative rate", func(d *HistoryDump) {
+			d.Resolutions[0].Rates["serve.requests"][1] = -3
+		}, "finite and non-negative"},
+		{"gauge length", func(d *HistoryDump) {
+			d.Resolutions[0].Gauges["runtime.goroutines"] = []float64{0}
+		}, "gauge"},
+		{"quantile length", func(d *HistoryDump) {
+			q := d.Resolutions[0].Quantiles["serve.latency_seconds"]
+			q.P99 = q.P99[:1]
+			d.Resolutions[0].Quantiles["serve.latency_seconds"] = q
+		}, "p99"},
+		{"negative quantile count", func(d *HistoryDump) {
+			d.Resolutions[0].Quantiles["serve.latency_seconds"].Count[0] = -1
+		}, "count is negative"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var d *HistoryDump
+			if tc.mutate != nil {
+				fresh := h.Dump()
+				tc.mutate(fresh)
+				d = fresh
+			}
+			err := CheckHistoryDump(d)
+			if err == nil {
+				t.Fatal("corrupt dump validated")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+
+	if err := ValidateHistoryDump([]byte("{")); err == nil {
+		t.Fatal("truncated JSON validated")
+	}
+}
+
+func BenchmarkHistorySample(b *testing.B) {
+	reg := NewRegistry()
+	for _, name := range []string{
+		MetricServeRequests, MetricServeErrors, MetricServeCacheHits, MetricServeCacheMisses,
+	} {
+		reg.Counter(name).Add(1)
+	}
+	reg.Gauge(MetricRuntimeGoroutines).Set(10)
+	reg.Gauge(MetricRuntimeHeapAlloc).Set(1 << 20)
+	hist := reg.Histogram(MetricServeLatency,
+		[]float64{0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1})
+	hist.Observe(0.005)
+	h := NewHistory(reg, HistoryConfig{})
+	h.sampleFine()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.sampleFine()
+	}
+}
+
+func equalInt64(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -70,6 +70,13 @@ const (
 	MetricLoadLatencyKNN       = "load.latency_seconds.knn"
 	MetricLoadLatencyInfer     = "load.latency_seconds.infer"
 
+	// MetricWatchTrips counts SLO watchdog rule trips (each transition
+	// of a rule from healthy to violated; see DESIGN.md §13).
+	MetricWatchTrips = "watch.trips"
+	// MetricWatchDegraded is the number of watchdog rules currently in
+	// the degraded (tripped, not yet recovered) state.
+	MetricWatchDegraded = "watch.degraded_rules"
+
 	// MetricRuntimeHeapAlloc is the live heap size in bytes
 	// (runtime.MemStats.HeapAlloc), polled by Run.PollRuntime.
 	MetricRuntimeHeapAlloc = "runtime.heap_alloc_bytes"

@@ -650,6 +650,20 @@ const (
 	LogKeyStages = "stages"
 	// LogKeySlowThresholdMS carries the slow-log gate in milliseconds.
 	LogKeySlowThresholdMS = "slow_threshold_ms"
+	// LogKeyRule carries the name of an SLO watchdog rule.
+	LogKeyRule = "rule"
+	// LogKeyWindowSeconds carries the evaluation window a watchdog rule
+	// judged (the actual covered span, not the configured one).
+	LogKeyWindowSeconds = "window_seconds"
+	// LogKeyObserved and LogKeyBudget carry a tripped rule's measured
+	// value and the budget it violated.
+	LogKeyObserved = "observed"
+	LogKeyBudget   = "budget"
+	// LogKeyAnomalyDir carries the directory an anomaly bundle was
+	// captured into.
+	LogKeyAnomalyDir = "anomaly_dir"
+	// LogKeyError carries an error message on failure log lines.
+	LogKeyError = "error"
 )
 
 // Structured serving-log levels, declared once so the access and slow

@@ -361,7 +361,11 @@ func TestValidateTraceDumpRejectsCorrupt(t *testing.T) {
 		{"bad schema", func(d *TraceDump) { d.Schema = "transn.trace.serve/v0" }, "schema"},
 		{"bad ring", func(d *TraceDump) { d.Ring = "warm" }, "ring"},
 		{"zero capacity", func(d *TraceDump) { d.Capacity = 0 }, "capacity"},
-		{"over capacity", func(d *TraceDump) { d.Capacity = 0; d.Capacity = 1; d.Traces = append(d.Traces, d.Traces[0], d.Traces[0]) }, "over capacity"},
+		{"over capacity", func(d *TraceDump) {
+			d.Capacity = 0
+			d.Capacity = 1
+			d.Traces = append(d.Traces, d.Traces[0], d.Traces[0])
+		}, "over capacity"},
 		{"kept undercount", func(d *TraceDump) { d.Kept = 0 }, "kept only"},
 		{"empty id", func(d *TraceDump) { d.Traces[0].ID = "" }, "empty id"},
 		{"empty endpoint", func(d *TraceDump) { d.Traces[0].Endpoint = "" }, "empty endpoint"},

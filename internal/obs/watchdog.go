@@ -1,0 +1,306 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"sync"
+	"time"
+
+	"transn/internal/ordered"
+)
+
+// Declared SLO watchdog rule codes: the stable vocabulary a tripped
+// rule reports in WatchEvent.Code and the anomaly bundle's
+// watchdog.json. transnlint's schema-registry analyzer flags WatchEvent
+// literals whose Code is a constant string outside this set.
+const (
+	// WatchCodeP99 — windowed serve.latency_seconds p99 exceeded its
+	// budget.
+	WatchCodeP99 = "watch.p99_budget"
+	// WatchCodeErrorRate — windowed error rate (serve.errors over
+	// serve.requests) exceeded its budget.
+	WatchCodeErrorRate = "watch.error_rate"
+	// WatchCodeHitRate — windowed cache hit rate fell below its floor.
+	WatchCodeHitRate = "watch.hit_rate_floor"
+	// WatchCodeGoroutines — the runtime.goroutines gauge exceeded its
+	// ceiling anywhere in the window.
+	WatchCodeGoroutines = "watch.goroutine_ceiling"
+	// WatchCodeHeap — the runtime.heap_alloc_bytes gauge exceeded its
+	// ceiling anywhere in the window.
+	WatchCodeHeap = "watch.heap_ceiling"
+)
+
+// WatchRule is one declarative burn-rate rule evaluated over a trailing
+// history window. Like load.Budget, every budget field is a pointer so
+// an absent budget and a zero budget are distinguishable; a rule must
+// set at least one.
+type WatchRule struct {
+	// Name identifies the rule in logs, /readyz degradation details and
+	// anomaly bundle directory names. Required and unique.
+	Name string `json:"name"`
+	// WindowSeconds is the trailing window to aggregate. Required and
+	// positive; windows longer than the retained fine history clamp to
+	// the whole ring.
+	WindowSeconds float64 `json:"window_seconds"`
+	// MinRequests suppresses the rule when the window saw fewer
+	// requests — burn rates over a handful of requests are noise. 0 (or
+	// absent) means always evaluate.
+	MinRequests *int64 `json:"min_requests,omitempty"`
+	// MaxP99Seconds bounds the windowed serve p99 latency.
+	MaxP99Seconds *float64 `json:"max_p99_seconds,omitempty"`
+	// MaxErrorRate bounds the windowed error fraction within [0,1].
+	MaxErrorRate *float64 `json:"max_error_rate,omitempty"`
+	// MinCacheHitRate floors the windowed cache hit fraction; only
+	// judged when the window saw at least one cache lookup.
+	MinCacheHitRate *float64 `json:"min_cache_hit_rate,omitempty"`
+	// MaxGoroutines ceilings the runtime.goroutines gauge's window max.
+	MaxGoroutines *float64 `json:"max_goroutines,omitempty"`
+	// MaxHeapBytes ceilings the runtime.heap_alloc_bytes window max.
+	MaxHeapBytes *float64 `json:"max_heap_bytes,omitempty"`
+}
+
+// WatchConfig is the watchdog rules file: a list of rules, each judged
+// independently every evaluation tick.
+type WatchConfig struct {
+	// Rules holds the burn-rate rules. At least one is required.
+	Rules []WatchRule `json:"rules"`
+}
+
+// ParseWatchRules decodes a watchdog rules file strictly: unknown
+// fields are errors (a typo like "max_p99_second" must fail loudly),
+// names must be present and unique, windows positive, and every rule
+// must carry at least one budget.
+func ParseWatchRules(data []byte) (*WatchConfig, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var cfg WatchConfig
+	if err := dec.Decode(&cfg); err != nil {
+		return nil, fmt.Errorf("obs: watchdog rules: %w", err)
+	}
+	if len(cfg.Rules) == 0 {
+		return nil, fmt.Errorf("obs: watchdog rules: no rules declared")
+	}
+	seen := map[string]bool{}
+	for i, r := range cfg.Rules {
+		if r.Name == "" {
+			return nil, fmt.Errorf("obs: watchdog rule %d: missing name", i)
+		}
+		if seen[r.Name] {
+			return nil, fmt.Errorf("obs: watchdog rule %q declared twice", r.Name)
+		}
+		seen[r.Name] = true
+		if r.WindowSeconds <= 0 {
+			return nil, fmt.Errorf("obs: watchdog rule %q: window_seconds = %v, want > 0", r.Name, r.WindowSeconds)
+		}
+		if r.MaxP99Seconds == nil && r.MaxErrorRate == nil && r.MinCacheHitRate == nil &&
+			r.MaxGoroutines == nil && r.MaxHeapBytes == nil {
+			return nil, fmt.Errorf("obs: watchdog rule %q sets no budget", r.Name)
+		}
+	}
+	return &cfg, nil
+}
+
+// WatchEvent is one rule violation: which rule, which budget (a
+// WatchCode* constant), the window it was judged over, and the observed
+// vs budgeted values. It is the WARN log payload and the anomaly
+// bundle's watchdog.json.
+type WatchEvent struct {
+	// Rule is the violated rule's name.
+	Rule string `json:"rule"`
+	// Code is the violated budget's WatchCode* constant.
+	Code string `json:"code"`
+	// WindowSeconds is the actual covered window span.
+	WindowSeconds float64 `json:"window_seconds"`
+	// Observed is the measured value; Budget the bound it broke.
+	Observed float64 `json:"observed"`
+	Budget   float64 `json:"budget"`
+	// UnixMS stamps the evaluation time.
+	UnixMS int64 `json:"unix_ms"`
+}
+
+// WatchdogConfig wires a Watchdog to its inputs and outputs.
+type WatchdogConfig struct {
+	// History supplies the windows. Required.
+	History *History
+	// Rules are the parsed burn-rate rules. Required (use
+	// ParseWatchRules).
+	Rules *WatchConfig
+	// Interval is the evaluation period. 0 means 1s.
+	Interval time.Duration
+	// Logger receives a WARN per newly-tripped rule and an INFO per
+	// recovery. Nil disables logging.
+	Logger *slog.Logger
+	// Trips, when non-nil, counts rule trips (MetricWatchTrips);
+	// Degraded, when non-nil, tracks the currently-degraded rule count
+	// (MetricWatchDegraded).
+	Trips        *Counter
+	DegradedRule *Gauge
+	// OnTrip, when non-nil, runs once per newly-tripped rule (after the
+	// WARN) — the anomaly-capture hook. It runs on the watchdog
+	// goroutine; keep it bounded.
+	OnTrip func(WatchEvent)
+}
+
+// Watchdog evaluates declarative SLO burn-rate rules over History
+// windows. A rule "trips" on the healthy→violated transition (WARN log,
+// trips counter, OnTrip hook) and "recovers" when a later evaluation
+// finds it healthy again; Degraded lists the currently-tripped rules
+// for the /readyz degradation detail.
+type Watchdog struct {
+	cfg WatchdogConfig
+
+	mu       sync.Mutex
+	degraded map[string]WatchEvent
+}
+
+// NewWatchdog validates the wiring and returns an idle watchdog; drive
+// it with Start (production) or Evaluate (tests).
+func NewWatchdog(cfg WatchdogConfig) (*Watchdog, error) {
+	if cfg.History == nil {
+		return nil, fmt.Errorf("obs: watchdog needs a History")
+	}
+	if cfg.Rules == nil || len(cfg.Rules.Rules) == 0 {
+		return nil, fmt.Errorf("obs: watchdog needs at least one rule")
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = time.Second
+	}
+	return &Watchdog{cfg: cfg, degraded: map[string]WatchEvent{}}, nil
+}
+
+// judge returns the rule's first violated budget over the window, or
+// ok=false when the rule holds. Budgets are checked in declaration
+// order (p99, error rate, hit rate, goroutines, heap) so a rule that
+// breaks several reports the same code deterministically.
+func judge(r WatchRule, w HistoryWindow, now time.Time) (WatchEvent, bool) {
+	ev := WatchEvent{Rule: r.Name, WindowSeconds: w.Seconds, UnixMS: now.UnixMilli()}
+	if r.MinRequests != nil && w.Requests < *r.MinRequests {
+		return WatchEvent{}, false
+	}
+	switch {
+	case r.MaxP99Seconds != nil && w.P99Seconds > *r.MaxP99Seconds:
+		ev.Code, ev.Observed, ev.Budget = WatchCodeP99, w.P99Seconds, *r.MaxP99Seconds
+	case r.MaxErrorRate != nil && w.Requests > 0 && w.ErrorRate > *r.MaxErrorRate:
+		ev.Code, ev.Observed, ev.Budget = WatchCodeErrorRate, w.ErrorRate, *r.MaxErrorRate
+	case r.MinCacheHitRate != nil && w.CacheLookups > 0 && w.CacheHitRate < *r.MinCacheHitRate:
+		ev.Code, ev.Observed, ev.Budget = WatchCodeHitRate, w.CacheHitRate, *r.MinCacheHitRate
+	case r.MaxGoroutines != nil && w.MaxGoroutines > *r.MaxGoroutines:
+		ev.Code, ev.Observed, ev.Budget = WatchCodeGoroutines, w.MaxGoroutines, *r.MaxGoroutines
+	case r.MaxHeapBytes != nil && w.MaxHeapBytes > *r.MaxHeapBytes:
+		ev.Code, ev.Observed, ev.Budget = WatchCodeHeap, w.MaxHeapBytes, *r.MaxHeapBytes
+	default:
+		return WatchEvent{}, false
+	}
+	return ev, true
+}
+
+// Evaluate judges every rule against the current history once and
+// returns the newly-tripped events (rules already degraded stay
+// degraded silently until they recover). Exported so tests can drive
+// the watchdog deterministically without tickers.
+func (w *Watchdog) Evaluate(now time.Time) []WatchEvent {
+	var tripped []WatchEvent
+	w.mu.Lock()
+	for _, rule := range w.cfg.Rules.Rules {
+		win, ok := w.cfg.History.Window(rule.WindowSeconds)
+		if !ok {
+			continue // not enough samples to judge anything yet
+		}
+		ev, violated := judge(rule, win, now)
+		if violated {
+			if _, already := w.degraded[rule.Name]; !already {
+				w.degraded[rule.Name] = ev
+				tripped = append(tripped, ev)
+			}
+		} else {
+			if _, was := w.degraded[rule.Name]; was {
+				delete(w.degraded, rule.Name)
+				if w.cfg.Logger != nil {
+					w.cfg.Logger.Info("slo rule recovered",
+						slog.String(LogKeyRule, rule.Name),
+						slog.Float64(LogKeyWindowSeconds, win.Seconds))
+				}
+			}
+		}
+	}
+	if w.cfg.DegradedRule != nil {
+		w.cfg.DegradedRule.Set(float64(len(w.degraded)))
+	}
+	w.mu.Unlock()
+	for _, ev := range tripped {
+		if w.cfg.Trips != nil {
+			w.cfg.Trips.Add(1)
+		}
+		if w.cfg.Logger != nil {
+			w.cfg.Logger.Warn("slo rule tripped",
+				slog.String(LogKeyRule, ev.Rule),
+				slog.String(LogKeyCode, ev.Code),
+				slog.Float64(LogKeyWindowSeconds, ev.WindowSeconds),
+				slog.Float64(LogKeyObserved, ev.Observed),
+				slog.Float64(LogKeyBudget, ev.Budget))
+		}
+		if w.cfg.OnTrip != nil {
+			w.cfg.OnTrip(ev)
+		}
+	}
+	return tripped
+}
+
+// Degraded returns the names of currently-tripped rules, sorted — the
+// /readyz degradation detail.
+func (w *Watchdog) Degraded() []string {
+	if w == nil {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return ordered.Keys(w.degraded)
+}
+
+// DegradedEvents returns the violation behind each currently-tripped
+// rule, sorted by rule name — what the anomaly bundle and debug
+// surfaces show.
+func (w *Watchdog) DegradedEvents() []WatchEvent {
+	if w == nil {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	names := ordered.Keys(w.degraded)
+	evs := make([]WatchEvent, len(names))
+	for i, name := range names {
+		evs[i] = w.degraded[name]
+	}
+	return evs
+}
+
+// Start launches the evaluation ticker. The returned stop function
+// halts it and waits for the goroutine to exit; safe to call twice. A
+// nil Watchdog returns a no-op stop.
+func (w *Watchdog) Start() (stop func()) {
+	if w == nil {
+		return func() {}
+	}
+	done := make(chan struct{})
+	exited := make(chan struct{})
+	go func() {
+		defer close(exited)
+		tick := time.NewTicker(w.cfg.Interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case now := <-tick.C:
+				w.Evaluate(now)
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() { close(done) })
+		<-exited
+	}
+}

@@ -1,0 +1,234 @@
+package obs
+
+import (
+	"bytes"
+	"log/slog"
+	"strings"
+	"testing"
+	"time"
+)
+
+func f64(v float64) *float64 { return &v }
+func i64(v int64) *int64     { return &v }
+
+func TestParseWatchRules(t *testing.T) {
+	good := []byte(`{"rules": [
+		{"name": "p99", "window_seconds": 60, "max_p99_seconds": 0.05},
+		{"name": "errors", "window_seconds": 300, "min_requests": 100, "max_error_rate": 0.01}
+	]}`)
+	cfg, err := ParseWatchRules(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.Rules) != 2 || *cfg.Rules[0].MaxP99Seconds != 0.05 || *cfg.Rules[1].MinRequests != 100 {
+		t.Fatalf("parsed rules wrong: %+v", cfg.Rules)
+	}
+
+	cases := []struct {
+		name, data, want string
+	}{
+		{"not JSON", `{`, "watchdog rules"},
+		{"unknown field", `{"rules": [{"name": "a", "window_seconds": 1, "max_p99_second": 0.1}]}`, "unknown field"},
+		{"no rules", `{"rules": []}`, "no rules"},
+		{"missing name", `{"rules": [{"window_seconds": 1, "max_p99_seconds": 0.1}]}`, "missing name"},
+		{"duplicate name", `{"rules": [
+			{"name": "a", "window_seconds": 1, "max_p99_seconds": 0.1},
+			{"name": "a", "window_seconds": 2, "max_error_rate": 0.1}
+		]}`, "declared twice"},
+		{"bad window", `{"rules": [{"name": "a", "window_seconds": 0, "max_p99_seconds": 0.1}]}`, "window_seconds"},
+		{"no budget", `{"rules": [{"name": "a", "window_seconds": 1}]}`, "no budget"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseWatchRules([]byte(tc.data))
+			if err == nil {
+				t.Fatal("bad rules parsed")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestJudge(t *testing.T) {
+	now := time.Now()
+	w := HistoryWindow{
+		Seconds: 60, Samples: 10,
+		Requests: 1000, Errors: 50, ErrorRate: 0.05,
+		CacheLookups: 400, CacheHitRate: 0.5,
+		P99Seconds:    0.2,
+		MaxGoroutines: 300, MaxHeapBytes: 2 << 30,
+	}
+	cases := []struct {
+		name     string
+		rule     WatchRule
+		wantCode string // empty means the rule must hold
+	}{
+		{"p99 over", WatchRule{Name: "r", MaxP99Seconds: f64(0.1)}, WatchCodeP99},
+		{"p99 within", WatchRule{Name: "r", MaxP99Seconds: f64(0.5)}, ""},
+		{"error rate over", WatchRule{Name: "r", MaxErrorRate: f64(0.01)}, WatchCodeErrorRate},
+		{"error rate within", WatchRule{Name: "r", MaxErrorRate: f64(0.1)}, ""},
+		{"hit rate under floor", WatchRule{Name: "r", MinCacheHitRate: f64(0.9)}, WatchCodeHitRate},
+		{"hit rate above floor", WatchRule{Name: "r", MinCacheHitRate: f64(0.25)}, ""},
+		{"goroutines over", WatchRule{Name: "r", MaxGoroutines: f64(100)}, WatchCodeGoroutines},
+		{"heap over", WatchRule{Name: "r", MaxHeapBytes: f64(1 << 30)}, WatchCodeHeap},
+		{"min requests gates", WatchRule{Name: "r", MinRequests: i64(10_000), MaxP99Seconds: f64(0.001)}, ""},
+		// Several broken budgets report the first in declaration order.
+		{"deterministic precedence", WatchRule{Name: "r", MaxErrorRate: f64(0.01), MaxP99Seconds: f64(0.1)}, WatchCodeP99},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ev, violated := judge(tc.rule, w, now)
+			if (tc.wantCode != "") != violated {
+				t.Fatalf("violated = %v, want %v", violated, tc.wantCode != "")
+			}
+			if violated && ev.Code != tc.wantCode {
+				t.Fatalf("code = %q, want %q", ev.Code, tc.wantCode)
+			}
+			if violated && (ev.Rule != "r" || ev.UnixMS != now.UnixMilli()) {
+				t.Fatalf("event metadata wrong: %+v", ev)
+			}
+		})
+	}
+
+	// A zero-request window never judges error rate (0/0 is not a burn).
+	empty := HistoryWindow{Seconds: 60}
+	if _, violated := judge(WatchRule{Name: "r", MaxErrorRate: f64(0)}, empty, now); violated {
+		t.Fatal("error-rate rule tripped on an empty window")
+	}
+	// A zero-lookup window never judges the hit-rate floor.
+	if _, violated := judge(WatchRule{Name: "r", MinCacheHitRate: f64(0.99)}, empty, now); violated {
+		t.Fatal("hit-rate rule tripped with no cache lookups")
+	}
+}
+
+func TestNewWatchdogValidation(t *testing.T) {
+	rules := &WatchConfig{Rules: []WatchRule{{Name: "r", WindowSeconds: 1, MaxGoroutines: f64(1)}}}
+	if _, err := NewWatchdog(WatchdogConfig{Rules: rules}); err == nil {
+		t.Fatal("watchdog accepted nil history")
+	}
+	h := NewHistory(NewRegistry(), HistoryConfig{FineCapacity: 4, CoarseCapacity: 4})
+	if _, err := NewWatchdog(WatchdogConfig{History: h}); err == nil {
+		t.Fatal("watchdog accepted nil rules")
+	}
+	if _, err := NewWatchdog(WatchdogConfig{History: h, Rules: &WatchConfig{}}); err == nil {
+		t.Fatal("watchdog accepted empty rules")
+	}
+}
+
+func TestWatchdogTripAndRecover(t *testing.T) {
+	reg := NewRegistry()
+	gor := reg.Gauge(MetricRuntimeGoroutines)
+	h := NewHistory(reg, HistoryConfig{FineCapacity: 4, CoarseCapacity: 4})
+
+	var logBuf bytes.Buffer
+	var hooked []WatchEvent
+	trips := reg.Counter(MetricWatchTrips)
+	degraded := reg.Gauge(MetricWatchDegraded)
+	wd, err := NewWatchdog(WatchdogConfig{
+		History: h,
+		Rules: &WatchConfig{Rules: []WatchRule{
+			{Name: "goroutine-ceiling", WindowSeconds: 3600, MaxGoroutines: f64(10)},
+		}},
+		Logger:       slog.New(slog.NewTextHandler(&logBuf, nil)),
+		Trips:        trips,
+		DegradedRule: degraded,
+		OnTrip:       func(ev WatchEvent) { hooked = append(hooked, ev) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Not enough samples: nothing to judge, nothing trips.
+	if evs := wd.Evaluate(time.Now()); len(evs) != 0 {
+		t.Fatalf("tripped with an empty history: %+v", evs)
+	}
+
+	gor.Set(100)
+	h.sampleFine()
+	h.sampleFine()
+	evs := wd.Evaluate(time.Now())
+	if len(evs) != 1 || evs[0].Code != WatchCodeGoroutines || evs[0].Observed != 100 || evs[0].Budget != 10 {
+		t.Fatalf("trip events = %+v, want one goroutine-ceiling violation 100>10", evs)
+	}
+	if got := wd.Degraded(); len(got) != 1 || got[0] != "goroutine-ceiling" {
+		t.Fatalf("Degraded() = %v", got)
+	}
+	if dv := wd.DegradedEvents(); len(dv) != 1 || dv[0].Code != WatchCodeGoroutines {
+		t.Fatalf("DegradedEvents() = %+v", dv)
+	}
+	if trips.Value() != 1 || degraded.Value() != 1 {
+		t.Fatalf("trips=%d degraded=%v, want 1/1", trips.Value(), degraded.Value())
+	}
+	if len(hooked) != 1 || hooked[0].Rule != "goroutine-ceiling" {
+		t.Fatalf("OnTrip hook saw %+v", hooked)
+	}
+	if !strings.Contains(logBuf.String(), "slo rule tripped") {
+		t.Fatalf("no WARN in log: %q", logBuf.String())
+	}
+
+	// Still violated: stays degraded silently, no re-trip.
+	h.sampleFine()
+	if evs := wd.Evaluate(time.Now()); len(evs) != 0 {
+		t.Fatalf("already-degraded rule re-tripped: %+v", evs)
+	}
+	if trips.Value() != 1 {
+		t.Fatalf("trips=%d after silent evaluation, want 1", trips.Value())
+	}
+
+	// Recovery: overwrite the whole (capacity 4) ring with healthy samples.
+	gor.Set(2)
+	for i := 0; i < 4; i++ {
+		h.sampleFine()
+	}
+	logBuf.Reset()
+	if evs := wd.Evaluate(time.Now()); len(evs) != 0 {
+		t.Fatalf("recovery produced trip events: %+v", evs)
+	}
+	if got := wd.Degraded(); len(got) != 0 {
+		t.Fatalf("rule still degraded after recovery: %v", got)
+	}
+	if degraded.Value() != 0 {
+		t.Fatalf("degraded gauge = %v after recovery, want 0", degraded.Value())
+	}
+	if !strings.Contains(logBuf.String(), "slo rule recovered") {
+		t.Fatalf("no recovery INFO in log: %q", logBuf.String())
+	}
+
+	// Nil watchdog surfaces are safe.
+	var nilWd *Watchdog
+	if nilWd.Degraded() != nil || nilWd.DegradedEvents() != nil {
+		t.Fatal("nil watchdog reported degradation")
+	}
+	nilWd.Start()()
+}
+
+func TestWatchdogStartStop(t *testing.T) {
+	reg := NewRegistry()
+	gor := reg.Gauge(MetricRuntimeGoroutines)
+	gor.Set(100)
+	h := NewHistory(reg, HistoryConfig{FineCapacity: 8, CoarseCapacity: 4})
+	h.sampleFine()
+	h.sampleFine()
+	wd, err := NewWatchdog(WatchdogConfig{
+		History: h,
+		Rules: &WatchConfig{Rules: []WatchRule{
+			{Name: "g", WindowSeconds: 3600, MaxGoroutines: f64(10)},
+		}},
+		Interval: 2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := wd.Start()
+	deadline := time.Now().Add(2 * time.Second)
+	for len(wd.Degraded()) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("ticker-driven watchdog never tripped")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	stop()
+	stop() // idempotent
+}

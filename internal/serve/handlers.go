@@ -120,6 +120,11 @@ type ReadyResponse struct {
 	Ready bool `json:"ready"`
 	// Generation is the live snapshot generation.
 	Generation uint64 `json:"generation"`
+	// Degraded lists the names of currently-tripped SLO watchdog rules,
+	// sorted; absent when every rule holds (or no watchdog runs). A
+	// degraded server still answers ready — degradation is a quality
+	// signal for operators and canary analysis, not a routing decision.
+	Degraded []string `json:"degraded,omitempty"`
 }
 
 // ReloadResponse is the body of POST /admin/reload.
@@ -149,6 +154,7 @@ func (sv *Server) routes() {
 	sv.mux.HandleFunc("/readyz", sv.handleReadyz)
 	sv.mux.HandleFunc("/debug/requests", sv.handleDebugRequests)
 	sv.mux.HandleFunc("/debug/slow", sv.handleDebugSlow)
+	sv.mux.HandleFunc("/debug/history", sv.handleDebugHistory)
 	sv.mux.HandleFunc("/", sv.handleNotFound)
 	sv.run.MountDebug(sv.mux)
 }
@@ -496,7 +502,10 @@ func (sv *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 			"no snapshot is live (starting up or draining)"))
 		return
 	}
-	writeJSON(w, http.StatusOK, ReadyResponse{Schema: ErrorSchema, Ready: true, Generation: snap.gen})
+	writeJSON(w, http.StatusOK, ReadyResponse{
+		Schema: ErrorSchema, Ready: true, Generation: snap.gen,
+		Degraded: sv.watchdog.Degraded(),
+	})
 }
 
 // handleNotFound answers unknown paths with the typed envelope instead

@@ -1,0 +1,73 @@
+package serve
+
+import (
+	"io"
+	"log/slog"
+	"net/http"
+
+	"transn/internal/obs"
+)
+
+// handleDebugHistory serves GET /debug/history: the metrics flight
+// recorder's two rings as a transn.history/v1 dump. 404 when the
+// recorder is disabled.
+func (sv *Server) handleDebugHistory(w http.ResponseWriter, r *http.Request) {
+	sv.reqs.Add(1)
+	if r.Method != http.MethodGet {
+		sv.errs.Add(1)
+		writeError(w, requestID(r), errf(http.StatusMethodNotAllowed, CodeMethodNotAllowed,
+			"%s requires GET", r.URL.Path))
+		return
+	}
+	if sv.history == nil {
+		sv.errs.Add(1)
+		writeError(w, requestID(r), errf(http.StatusNotFound, CodeNotFound,
+			"metrics history is disabled on this server"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if id := requestID(r); id != "" {
+		w.Header().Set(HeaderRequestID, id)
+	}
+	if err := obs.WriteHistoryDump(w, sv.history.Dump()); err != nil {
+		// Headers are already committed; nothing useful left to send.
+		return
+	}
+}
+
+// captureAnomaly is the watchdog's OnTrip hook: freeze the black box.
+// The bundle carries the heap and goroutine profiles plus the current
+// history dump and — when tracing is on — the slow-ring dump, so an
+// incident leaves behind both the curves that degraded and the requests
+// that were slow while they did. Capture failures are logged, never
+// fatal: a full disk must not take the serving path down with it.
+func (sv *Server) captureAnomaly(ev obs.WatchEvent) {
+	if sv.anomalies == nil {
+		return
+	}
+	extras := map[string]func(io.Writer) error{
+		"history.json": func(w io.Writer) error {
+			return obs.WriteHistoryDump(w, sv.history.Dump())
+		},
+	}
+	if sv.traces != nil {
+		extras["slow.json"] = func(w io.Writer) error {
+			return obs.WriteTraceDump(w, sv.traces.DumpSlow())
+		}
+	}
+	dir, err := sv.anomalies.Capture(ev, extras)
+	if sv.log == nil {
+		return
+	}
+	switch {
+	case err != nil:
+		sv.log.Warn("anomaly capture failed",
+			slog.String(obs.LogKeyRule, ev.Rule),
+			slog.String(obs.LogKeyError, err.Error()))
+	case dir != "":
+		sv.log.Warn("anomaly bundle captured",
+			slog.String(obs.LogKeyRule, ev.Rule),
+			slog.String(obs.LogKeyCode, ev.Code),
+			slog.String(obs.LogKeyAnomalyDir, dir))
+	}
+}

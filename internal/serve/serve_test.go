@@ -109,7 +109,11 @@ func newTestServer(t testing.TB, cfg Config) (*Server, *transn.Model) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(func() { sv.stopRuntime() })
+	t.Cleanup(func() {
+		sv.stopWatchdog()
+		sv.stopHistory()
+		sv.stopRuntime()
+	})
 	return sv, m
 }
 

@@ -67,6 +67,36 @@ type Config struct {
 	// pause, goroutines, scheduler latency) are sampled into the
 	// registry. 0 means the default (5s); negative disables polling.
 	RuntimePollInterval time.Duration
+
+	// HistoryDisabled turns off the metrics flight recorder: no sampler
+	// runs, /debug/history answers 404, and watchdog rules are rejected
+	// (they need windows to judge).
+	HistoryDisabled bool
+	// HistoryFineInterval / HistoryFineRing and HistoryCoarseInterval /
+	// HistoryCoarseRing size the recorder's two rings; zero values take
+	// the obs.HistoryConfig defaults (1s×300 and 10s×360).
+	HistoryFineInterval   time.Duration
+	HistoryFineRing       int
+	HistoryCoarseInterval time.Duration
+	HistoryCoarseRing     int
+
+	// WatchRules, when non-nil, starts the SLO burn-rate watchdog over
+	// the recorder's windows (parse files with obs.ParseWatchRules). A
+	// tripped rule WARNs, surfaces in /readyz's degraded detail, and —
+	// when AnomalyDir is set — captures an anomaly bundle.
+	WatchRules *obs.WatchConfig
+	// WatchInterval is the watchdog evaluation period. 0 means 1s.
+	WatchInterval time.Duration
+
+	// AnomalyDir, when non-empty, is where tripped rules capture
+	// bounded-retention anomaly bundles (heap + goroutine profiles,
+	// history dump, slow-ring dump). Empty disables capture.
+	AnomalyDir string
+	// AnomalyKeep / AnomalyCooldown bound bundle retention and capture
+	// spacing; zero values take the obs.AnomalyConfig defaults (keep 8,
+	// 30s cooldown).
+	AnomalyKeep     int
+	AnomalyCooldown time.Duration
 }
 
 // withDefaults fills zero fields with production defaults.
@@ -116,6 +146,12 @@ type Server struct {
 	log         *slog.Logger  // nil when Config.Logger is nil
 	ids         *reqIDGen
 	stopRuntime func()
+
+	history      *obs.History         // nil when Config.HistoryDisabled
+	watchdog     *obs.Watchdog        // nil when no Config.WatchRules
+	anomalies    *obs.AnomalyCapturer // nil when no Config.AnomalyDir
+	stopHistory  func()
+	stopWatchdog func()
 
 	reqs, errs, hits, misses, reloads *obs.Counter
 	latency                           *obs.Histogram
@@ -167,6 +203,52 @@ func New(cfg Config) (*Server, error) {
 	}
 	sv.snap.Store(snap)
 	sv.genGauge.Set(1)
+	sv.stopHistory = func() {}
+	sv.stopWatchdog = func() {}
+	if !cfg.HistoryDisabled {
+		// Register the watchdog's own metrics before the history resolves
+		// the registry's metric set: the flight recorder tracks only
+		// metrics that exist at its construction, and everything above
+		// (serve counters, coalescer, runtime gauges) is registered by
+		// now — the history is deliberately the last telemetry component
+		// built.
+		trips := run.Reg.Counter(obs.MetricWatchTrips)
+		degraded := run.Reg.Gauge(obs.MetricWatchDegraded)
+		sv.history = obs.NewHistory(run.Reg, obs.HistoryConfig{
+			FineInterval:   cfg.HistoryFineInterval,
+			FineCapacity:   cfg.HistoryFineRing,
+			CoarseInterval: cfg.HistoryCoarseInterval,
+			CoarseCapacity: cfg.HistoryCoarseRing,
+		})
+		sv.stopHistory = sv.history.Start()
+		if cfg.WatchRules != nil {
+			if cfg.AnomalyDir != "" {
+				ac, err := obs.NewAnomalyCapturer(obs.AnomalyConfig{
+					Dir: cfg.AnomalyDir, Keep: cfg.AnomalyKeep, Cooldown: cfg.AnomalyCooldown,
+				})
+				if err != nil {
+					return nil, fmt.Errorf("serve: %w", err)
+				}
+				sv.anomalies = ac
+			}
+			wd, err := obs.NewWatchdog(obs.WatchdogConfig{
+				History:      sv.history,
+				Rules:        cfg.WatchRules,
+				Interval:     cfg.WatchInterval,
+				Logger:       cfg.Logger,
+				Trips:        trips,
+				DegradedRule: degraded,
+				OnTrip:       sv.captureAnomaly,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("serve: %w", err)
+			}
+			sv.watchdog = wd
+			sv.stopWatchdog = wd.Start()
+		}
+	} else if cfg.WatchRules != nil {
+		return nil, fmt.Errorf("serve: watchdog rules need the metrics history recorder enabled")
+	}
 	sv.mux = http.NewServeMux()
 	sv.routes()
 	return sv, nil
@@ -224,6 +306,8 @@ func (sv *Server) Reload() error {
 // flips readiness) and safe to call more than once.
 func (sv *Server) Shutdown() error {
 	sv.draining.Store(true)
+	sv.stopWatchdog()
+	sv.stopHistory()
 	sv.stopRuntime()
 	if sv.httpSrv == nil {
 		return nil
