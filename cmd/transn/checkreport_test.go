@@ -1,0 +1,83 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"transn/internal/lint"
+)
+
+// writeReport drops data into a temp file and returns its path.
+func writeReport(t *testing.T, name string, data []byte) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestCheckReportDispatch covers the schema-field dispatch: a known
+// schema picks its validator from reportValidators, an unknown schema
+// is an error naming every registered schema (the typo-facing UX), and
+// a schema-less file still reaches the telemetry validator whose own
+// error describes the legacy format.
+func TestCheckReportDispatch(t *testing.T) {
+	var buf bytes.Buffer
+	if err := lint.Write(&buf, &lint.Document{Schema: lint.Schema, Name: "t", Packages: 1}); err != nil {
+		t.Fatal(err)
+	}
+	lintPath := writeReport(t, "lint.json", buf.Bytes())
+	if err := cmdCheckReport([]string{"-report", lintPath}); err != nil {
+		t.Errorf("valid lint document rejected: %v", err)
+	}
+
+	bogus := writeReport(t, "bogus.json", []byte(`{"schema":"transn.bogus/v9"}`))
+	err := cmdCheckReport([]string{"-report", bogus})
+	if err == nil {
+		t.Fatal("unknown schema accepted")
+	}
+	if !strings.Contains(err.Error(), `unknown schema "transn.bogus/v9"`) {
+		t.Errorf("error %q does not name the offending schema", err)
+	}
+	for _, want := range registeredSchemas() {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not list registered schema %s", err, want)
+		}
+	}
+
+	legacy := writeReport(t, "legacy.json", []byte(`{"method":"transn"}`))
+	err = cmdCheckReport([]string{"-report", legacy})
+	if err == nil {
+		t.Fatal("schema-less junk accepted")
+	}
+	if strings.Contains(err.Error(), "unknown schema") {
+		t.Errorf("schema-less file hit the unknown-schema branch: %v", err)
+	}
+}
+
+// TestRegisteredSchemas pins the dispatch table's coverage: every
+// document family the toolchain writes must have a row, so checkreport
+// never silently misvalidates a new artifact under the legacy path.
+func TestRegisteredSchemas(t *testing.T) {
+	names := registeredSchemas()
+	seen := map[string]bool{}
+	for _, n := range names {
+		if seen[n] {
+			t.Errorf("schema %s registered twice", n)
+		}
+		seen[n] = true
+	}
+	for _, want := range []string{
+		"transn.diagnostics/v1",
+		"transn.lint/v1",
+		"transn.telemetry.report/v1",
+	} {
+		if !seen[want] {
+			t.Errorf("schema %s missing from reportValidators", want)
+		}
+	}
+}

@@ -273,14 +273,27 @@ type reportValidator struct {
 
 // reportValidators is checkreport's dispatch table: the file's own
 // schema field picks the row. A new document family registers here with
-// one line; anything unmatched falls through to the telemetry-report
-// validator (the original, schema-field-less document family).
+// one line. An unrecognized schema is an error listing this table's
+// names; only a file with no schema field at all falls through to the
+// telemetry-report validator for its diagnostic.
 var reportValidators = []reportValidator{
 	{diag.Schema, "document", diag.Validate},
 	{lint.Schema, "document", lint.Validate},
 	{obs.TraceDumpSchema, "dump", obs.ValidateTraceDump},
 	{obs.HistorySchema, "dump", obs.ValidateHistoryDump},
 	{load.BenchSchema, "report", load.Validate},
+	{obs.ReportSchema, "report", obs.ValidateReport},
+}
+
+// registeredSchemas lists the dispatch table's schema names for the
+// unknown-schema error, so a typo in a hand-edited file points at the
+// valid vocabulary instead of a misleading telemetry-validation error.
+func registeredSchemas() []string {
+	names := make([]string, 0, len(reportValidators))
+	for _, v := range reportValidators {
+		names = append(names, v.schema)
+	}
+	return names
 }
 
 // cmdCheckReport validates any schema-stable artifact the toolchain
@@ -316,6 +329,12 @@ func cmdCheckReport(args []string) error {
 		fmt.Printf("%s: valid %s %s\n", *report, v.schema, v.kind)
 		return nil
 	}
+	if peek.Schema != "" {
+		return fmt.Errorf("checkreport: %s: unknown schema %q (registered schemas: %s)",
+			*report, peek.Schema, strings.Join(registeredSchemas(), ", "))
+	}
+	// No schema field at all: fall through to the telemetry-report
+	// validator, whose own error explains what a report must contain.
 	if err := obs.ValidateReport(data); err != nil {
 		return fmt.Errorf("checkreport: %s: %w", *report, err)
 	}

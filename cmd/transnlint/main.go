@@ -2,8 +2,10 @@
 // (internal/lint) over the whole module and reports findings with
 // stable codes: norace containment, determinism (global rand, wall-
 // clock seeds, map iteration order), finite-write hygiene,
-// schema-registry consistency, and doc coverage of the exported API
-// surface (doccheck). See DESIGN.md §9.
+// schema-registry consistency, doc coverage of the exported API
+// surface (doccheck), atomic-access consistency with 386 alignment,
+// goroutine/ticker lifecycle, lock-ordering and release balance, and
+// compiler-verified //lint:alloc-free pins. See DESIGN.md §9.
 //
 // Usage:
 //

@@ -1,0 +1,251 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// atomic.go — the atomic-consistency analyzer. A variable or struct
+// field touched through raw sync/atomic functions (atomic.AddInt64(&f)
+// style) anywhere in the module must be accessed atomically everywhere:
+// one plain load or store next to atomic ones is a data race the race
+// detector only sees when both sides happen to run under -race. The
+// analyzer also checks 64-bit alignment: plain int64/uint64 fields used
+// with 64-bit atomic ops must sit at an 8-byte-aligned offset under the
+// GOARCH=386 struct layout, or the op panics at runtime on 32-bit
+// platforms (the wrapper types atomic.Int64/Uint64 carry their own
+// alignment and are exempt by construction — using them is the
+// preferred fix for both findings).
+
+// analyzerAtomic builds the atomic-consistency analyzer.
+func analyzerAtomic() *Analyzer {
+	return &Analyzer{Name: "atomic-consistency", Run: runAtomic}
+}
+
+// atomicTarget tracks one variable that appears as the address argument
+// of a raw sync/atomic call somewhere in the module.
+type atomicTarget struct {
+	obj  *types.Var
+	name string    // display name ("Counter.n" or "hits")
+	is64 bool      // some 64-bit raw op targets it
+	pos  token.Pos // one atomic call site, for the mixed-access message
+	sel  *types.Selection
+}
+
+// rawAtomicCallee reports whether fn is a raw sync/atomic package-level
+// function operating through a pointer first argument, and whether the
+// operation is 64 bits wide.
+func rawAtomicCallee(fn *types.Func) (raw, is64 bool) {
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return false, false
+	}
+	name := fn.Name()
+	for _, op := range []string{"Add", "Load", "Store", "Swap", "CompareAndSwap"} {
+		suffix, ok := strings.CutPrefix(name, op)
+		if !ok {
+			continue
+		}
+		switch suffix {
+		case "Int32", "Uint32", "Uintptr", "Pointer":
+			return true, false
+		case "Int64", "Uint64":
+			return true, true
+		}
+	}
+	return false, false
+}
+
+// addressedVar resolves the operand of an &-expression to the variable
+// it names: a struct field (through the type-checker's selection) or a
+// plain/package-level variable. nil for anything unkeyable (slice
+// elements, map values, dereferences).
+func addressedVar(pkg *Package, e ast.Expr) (*types.Var, *types.Selection) {
+	switch e := e.(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := pkg.Info.Selections[e]; ok && sel.Kind() == types.FieldVal {
+			if v, ok := sel.Obj().(*types.Var); ok {
+				return v, sel
+			}
+		}
+		if v, ok := pkg.Info.Uses[e.Sel].(*types.Var); ok {
+			return v, nil // qualified package-level var
+		}
+	case *ast.Ident:
+		if v, ok := pkg.Info.Uses[e].(*types.Var); ok {
+			return v, nil
+		}
+	}
+	return nil, nil
+}
+
+// atomicDisplayName renders a field as Type.field (or a bare variable
+// name) for messages.
+func atomicDisplayName(v *types.Var, sel *types.Selection) string {
+	if sel != nil {
+		t := sel.Recv()
+		if p, ok := t.Underlying().(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			return named.Obj().Name() + "." + v.Name()
+		}
+	}
+	return v.Name()
+}
+
+func runAtomic(m *Module, opts Options, report func(Finding)) {
+	targets := map[*types.Var]*atomicTarget{}
+	// ordered keeps the targets in discovery order (a deterministic
+	// walk), so the alignment pass below needs no map iteration.
+	var ordered []*atomicTarget
+	// sanctioned marks the exact syntax nodes that appear as raw atomic
+	// call operands — the accesses that are atomic by definition.
+	sanctioned := map[ast.Expr]bool{}
+
+	// Pass 1: a raw sync/atomic call anywhere in the module marks its
+	// address argument's variable as atomically owned.
+	for _, pkg := range m.Pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || len(call.Args) == 0 {
+					return true
+				}
+				raw, is64 := rawAtomicCallee(calleeOf(pkg, call))
+				if !raw {
+					return true
+				}
+				unary, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+				if !ok || unary.Op != token.AND {
+					return true
+				}
+				target := ast.Unparen(unary.X)
+				obj, sel := addressedVar(pkg, target)
+				if obj == nil {
+					return true
+				}
+				sanctioned[target] = true
+				at := targets[obj]
+				if at == nil {
+					at = &atomicTarget{obj: obj, pos: call.Pos(), sel: sel, name: atomicDisplayName(obj, sel)}
+					targets[obj] = at
+					ordered = append(ordered, at)
+				}
+				at.is64 = at.is64 || is64
+				return true
+			})
+		}
+	}
+	if len(targets) == 0 {
+		return
+	}
+
+	// Pass 2: every other read or write of those variables is a mixed
+	// access. Composite-literal keys (field names in S{f: v}) and the
+	// declarations themselves are not accesses.
+	for _, pkg := range m.Pkgs {
+		if !inScope(pkg, opts.AtomicPkgs) {
+			continue
+		}
+		for _, f := range pkg.Files {
+			skip := map[*ast.Ident]bool{}
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.CompositeLit:
+					for _, el := range n.Elts {
+						if kv, ok := el.(*ast.KeyValueExpr); ok {
+							if id, ok := kv.Key.(*ast.Ident); ok {
+								skip[id] = true
+							}
+						}
+					}
+				case *ast.SelectorExpr:
+					skip[n.Sel] = true
+					if sanctioned[n] {
+						return true
+					}
+					if obj, _ := addressedVar(pkg, n); obj != nil {
+						if at := targets[obj]; at != nil {
+							report(m.finding(CodeAtomicMixed, n,
+								"%s is accessed with sync/atomic at %s but plainly here — every access must be atomic (or use atomic.Int64-style wrapper types)",
+								at.name, m.shortPos(at.pos)))
+						}
+					}
+				case *ast.Ident:
+					if skip[n] || sanctioned[n] {
+						return true
+					}
+					if v, ok := pkg.Info.Uses[n].(*types.Var); ok {
+						if at := targets[v]; at != nil {
+							report(m.finding(CodeAtomicMixed, n,
+								"%s is accessed with sync/atomic at %s but plainly here — every access must be atomic (or use atomic.Int64-style wrapper types)",
+								at.name, m.shortPos(at.pos)))
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	// Alignment: 64-bit raw atomics on a plain int64/uint64 field are
+	// only safe when the field's offset is 8-byte aligned under the
+	// 32-bit layout (Go guarantees allocation starts are 64-bit
+	// aligned, so offset alignment is the whole condition).
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].obj.Pos() < ordered[j].obj.Pos() })
+	sizes := types.SizesFor("gc", "386")
+	for _, at := range ordered {
+		if !at.is64 || at.sel == nil {
+			continue
+		}
+		basic, ok := at.obj.Type().Underlying().(*types.Basic)
+		if !ok || (basic.Kind() != types.Int64 && basic.Kind() != types.Uint64) {
+			continue
+		}
+		off, ok := fieldOffset(sizes, at.sel)
+		if !ok || off%8 == 0 {
+			continue
+		}
+		report(m.findingAt(CodeAtomicAlign, at.obj.Pos(),
+			"64-bit atomic field %s sits at offset %d under GOARCH=386 — move it to the front of the struct, pad to 8 bytes, or use atomic.Int64/Uint64",
+			at.name, off))
+	}
+}
+
+// fieldOffset walks a field selection's index path and sums the offsets
+// under the given layout. It reports ok=false when the path crosses a
+// pointer indirection (the inner struct is its own allocation, and Go
+// guarantees allocations start 64-bit aligned).
+func fieldOffset(sizes types.Sizes, sel *types.Selection) (int64, bool) {
+	t := sel.Recv()
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	var off int64
+	for _, idx := range sel.Index() {
+		st, ok := t.Underlying().(*types.Struct)
+		if !ok {
+			return 0, false
+		}
+		fields := make([]*types.Var, st.NumFields())
+		for i := range fields {
+			fields[i] = st.Field(i)
+		}
+		off += sizes.Offsetsof(fields)[idx]
+		t = st.Field(idx).Type()
+		if _, ok := t.Underlying().(*types.Pointer); ok {
+			return 0, false
+		}
+	}
+	return off, true
+}
+
+// shortPos renders a position as file:line for messages.
+func (m *Module) shortPos(p token.Pos) string {
+	pos := m.Rel(m.Fset.Position(p))
+	return pos.Filename + ":" + strconv.Itoa(pos.Line)
+}

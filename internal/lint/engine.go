@@ -11,6 +11,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 
 	"transn/internal/ordered"
 )
@@ -47,7 +48,7 @@ type Module struct {
 	// analyzer has run.
 	Suppressions []*Suppression
 	// Annotations maps a function declaration to its //lint: function
-	// annotations (currently only "finite-checked").
+	// annotations ("finite-checked", "alloc-free").
 	Annotations map[*ast.FuncDecl][]string
 	// directiveFindings are malformed //lint: comments, reported as
 	// lint.bad-directive by the runner.
@@ -302,30 +303,34 @@ func (m *Module) harvestDirectives() {
 						m.Suppressions = append(m.Suppressions, &Suppression{
 							File: pos.Filename, Line: pos.Line, Code: code,
 						})
-					case "finite-checked":
+					case "finite-checked", "alloc-free":
 						fd := docOwner[cg]
 						if fd == nil {
 							m.directiveFindings = append(m.directiveFindings, Finding{
 								Analyzer: "lint", Code: CodeBadDirective,
 								File: pos.Filename, Line: pos.Line, Col: pos.Column,
-								Message: "//lint:finite-checked must be part of a function's doc comment",
+								Message: fmt.Sprintf("//lint:%s must be part of a function's doc comment", verb),
 							})
 							continue
 						}
 						if rest == "" {
+							reason := "a reason naming who checks the writes"
+							if verb == "alloc-free" {
+								reason = "a reason naming the AllocsPerRun pin or hot path"
+							}
 							m.directiveFindings = append(m.directiveFindings, Finding{
 								Analyzer: "lint", Code: CodeBadDirective,
 								File: pos.Filename, Line: pos.Line, Col: pos.Column,
-								Message: "//lint:finite-checked needs a reason naming who checks the writes",
+								Message: fmt.Sprintf("//lint:%s needs %s", verb, reason),
 							})
 							continue
 						}
-						m.Annotations[fd] = append(m.Annotations[fd], "finite-checked")
+						m.Annotations[fd] = append(m.Annotations[fd], verb)
 					default:
 						m.directiveFindings = append(m.directiveFindings, Finding{
 							Analyzer: "lint", Code: CodeBadDirective,
 							File: pos.Filename, Line: pos.Line, Col: pos.Column,
-							Message: fmt.Sprintf("unknown //lint: directive %q (know: ignore, finite-checked)", verb),
+							Message: fmt.Sprintf("unknown //lint: directive %q (know: ignore, finite-checked, alloc-free)", verb),
 						})
 					}
 				}
@@ -382,6 +387,19 @@ type Options struct {
 	// findings. Empty means every loaded package (Load already excludes
 	// _test.go files, so tests are never in scope).
 	DocPkgs []string
+
+	// AtomicPkgs are the packages where mixed atomic/plain access to a
+	// field is a finding. Empty means every loaded package — atomics
+	// must be consistent wherever they appear.
+	AtomicPkgs []string
+	// LifecyclePkgs are the long-lived packages where a `go` statement
+	// spinning an unstoppable background loop, or an unstopped
+	// time.NewTicker/NewTimer, is a finding.
+	LifecyclePkgs []string
+	// LockPkgs are the packages whose mutex acquisition graphs are
+	// checked for cycles and unbalanced lock/unlock paths. Empty means
+	// every loaded package.
+	LockPkgs []string
 }
 
 // Defaults returns the options that describe this repository.
@@ -396,6 +414,9 @@ func Defaults() Options {
 		GuardFiles:      []string{"finite.go"},
 		SchemaObsPkg:    "transn/internal/obs",
 		SchemaDiagPkg:   "transn/internal/diag",
+		AtomicPkgs:      nil, // every package: atomics must be consistent repo-wide
+		LifecyclePkgs:   []string{"transn/internal/obs", "transn/internal/serve", "transn/internal/load", "transn/internal/par"},
+		LockPkgs:        nil, // every package: lock discipline is repo-wide
 	}
 }
 
@@ -407,6 +428,10 @@ func Analyzers() []*Analyzer {
 		analyzerFinite(),
 		analyzerSchema(),
 		analyzerDoccheck(),
+		analyzerAtomic(),
+		analyzerLifecycle(),
+		analyzerLockOrder(),
+		analyzerAllocPin(),
 	}
 }
 
@@ -415,7 +440,8 @@ func Analyzers() []*Analyzer {
 // line (or the line above) silences it and marks the suppression used;
 // unused suppressions and malformed directives are findings themselves.
 func Run(m *Module, opts Options, analyzers []*Analyzer, name string) *Document {
-	doc := &Document{Schema: Schema, Name: name, Packages: len(m.Pkgs)}
+	start := time.Now()
+	doc := &Document{Schema: Schema, Name: name, Packages: len(m.Pkgs), Analyzers: len(analyzers)}
 	var raw []Finding
 	for _, a := range analyzers {
 		a.Run(m, opts, func(f Finding) {
@@ -444,6 +470,7 @@ func Run(m *Module, opts Options, analyzers []*Analyzer, name string) *Document 
 	}
 	doc.Findings = append(doc.Findings, m.directiveFindings...)
 	doc.Finalize()
+	doc.ElapsedMS = time.Since(start).Milliseconds()
 	return doc
 }
 
@@ -464,7 +491,14 @@ func (m *Module) suppressionFor(f Finding) *Suppression {
 
 // finding builds a Finding at the given node's position.
 func (m *Module) finding(code string, node ast.Node, format string, args ...any) Finding {
-	pos := m.Rel(m.Fset.Position(node.Pos()))
+	return m.findingAt(code, node.Pos(), format, args...)
+}
+
+// findingAt builds a Finding at an explicit position — for verdicts
+// anchored to a types.Object (a field declaration) rather than the
+// syntax node that triggered the analysis.
+func (m *Module) findingAt(code string, p token.Pos, format string, args ...any) Finding {
+	pos := m.Rel(m.Fset.Position(p))
 	return Finding{
 		Code: code, File: pos.Filename, Line: pos.Line, Col: pos.Column,
 		Message: fmt.Sprintf(format, args...),

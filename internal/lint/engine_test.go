@@ -149,6 +149,63 @@ func TestDoccheckFixture(t *testing.T) {
 	}
 }
 
+// TestAtomicFixture covers the atomic-consistency analyzer: plain
+// access to an atomically-owned field or package variable (the
+// unpaired-access bug class), the 386 alignment check, the
+// composite-literal exemption, a reasoned suppression, and stale
+// suppressions for both codes.
+func TestAtomicFixture(t *testing.T) {
+	doc := testFixture(t, "atomic", Options{
+		AtomicPkgs: []string{"fixture/counter"},
+	}, []*Analyzer{analyzerAtomic()})
+	if doc.Suppressions != 1 {
+		t.Errorf("Suppressions = %d, want 1 (the construction-time write in Init)", doc.Suppressions)
+	}
+}
+
+// TestLifecycleFixture covers the goroutine-lifecycle analyzer: leaked
+// background loops (direct, through a named entry point, over a ticker
+// channel), unstopped tickers (local, field, inline), the clean
+// done-channel shape, a reasoned suppression, and stale suppressions
+// for both codes.
+func TestLifecycleFixture(t *testing.T) {
+	doc := testFixture(t, "lifecycle", Options{
+		LifecyclePkgs: []string{"fixture/bg"},
+	}, []*Analyzer{analyzerLifecycle()})
+	if doc.Suppressions != 1 {
+		t.Errorf("Suppressions = %d, want 1 (the process-lifetime worker in Forever)", doc.Suppressions)
+	}
+}
+
+// TestLockOrderFixture covers the lock-order analyzer: the AB/BA
+// acquisition cycle, self-deadlock on re-acquisition, a lock leaked on
+// an early return, the clean early-unlock/defer/loop shapes, a
+// reasoned suppression for a lock handoff, and stale suppressions for
+// both codes.
+func TestLockOrderFixture(t *testing.T) {
+	doc := testFixture(t, "lockorder", Options{
+		LockPkgs: []string{"fixture/locks"},
+	}, []*Analyzer{analyzerLockOrder()})
+	if doc.Suppressions != 1 {
+		t.Errorf("Suppressions = %d, want 1 (the handoff lock)", doc.Suppressions)
+	}
+}
+
+// TestAllocPinFixture covers the alloc-pin analyzer end to end: the
+// fixture is its own module (testdata/allocpin/go.mod), so the driver
+// really runs `go build -gcflags=-m` and the escaping alloc in the
+// annotated function becomes a finding, while the unannotated
+// allocator stays silent.
+func TestAllocPinFixture(t *testing.T) {
+	if testing.Short() {
+		t.Skip("invokes the go compiler; run without -short")
+	}
+	doc := testFixture(t, "allocpin", Options{}, []*Analyzer{analyzerAllocPin()})
+	if doc.Suppressions != 1 {
+		t.Errorf("Suppressions = %d, want 1 (the amortized warmup allocation)", doc.Suppressions)
+	}
+}
+
 // TestSuppressFixture is the negative fixture: a reasoned //lint:ignore
 // silences its finding (and counts in Document.Suppressions), a stale
 // one is a lint.unused-suppression finding, and malformed directives

@@ -21,6 +21,18 @@
 //   - doccheck (doccheck.go): every exported top-level symbol and every
 //     package carries a doc comment — the source-level half of the
 //     documented public API surface (API.md is the HTTP half).
+//   - atomic-consistency (atomic.go): a variable touched through raw
+//     sync/atomic anywhere is accessed atomically everywhere, and
+//     64-bit atomics on plain fields sit at 8-byte-aligned offsets
+//     under the 32-bit layout.
+//   - goroutine-lifecycle (lifecycle.go): `go` statements in the
+//     long-lived packages lead to stoppable loops, and every
+//     time.NewTicker/NewTimer has a matching Stop.
+//   - lock-order (lockorder.go): the static mutex acquisition graph is
+//     acyclic and every lock is released (or defer-released) on every
+//     return/panic path.
+//   - alloc-pin (allocpin.go): //lint:alloc-free bodies stay free of
+//     heap escapes, checked against `go build -gcflags=-m` output.
 //
 // Findings carry stable codes and are reported as a schema-stable
 // transn.lint/v1 JSON document, mirroring the obs/diag report
@@ -111,6 +123,46 @@ const (
 	// API.md-style, at the source level.
 	CodeDocMissing = "doc.missing"
 
+	// CodeAtomicMixed: a variable or struct field accessed through raw
+	// sync/atomic functions somewhere and through a plain read/write
+	// somewhere else — the plain access races with the atomic ones, and
+	// the race detector only catches it if both sides run under -race.
+	CodeAtomicMixed = "atomic.mixed-access"
+	// CodeAtomicAlign: a plain int64/uint64 struct field used with
+	// 64-bit sync/atomic operations whose offset is not 8-byte aligned
+	// under the 32-bit (GOARCH=386) struct layout — such an access
+	// panics at runtime on 32-bit platforms.
+	CodeAtomicAlign = "atomic.alignment"
+
+	// CodeLifecycleLeak: a goroutine launched in a long-lived package
+	// whose body spins an unbounded background loop with no stop path —
+	// no receive from a done/ctx channel and no return/break — so the
+	// goroutine outlives its owner (the bug class the History/Watchdog
+	// clean-stop tests guard dynamically).
+	CodeLifecycleLeak = "lifecycle.goroutine-leak"
+	// CodeLifecycleTicker: a time.NewTicker/time.NewTimer whose Stop is
+	// unreachable — the runtime timer (and anything its callback chain
+	// retains) leaks until process exit.
+	CodeLifecycleTicker = "lifecycle.ticker-stop"
+
+	// CodeLockCycle: the static mutex acquisition graph contains a
+	// cycle (lock A held while taking B in one place, B held while
+	// taking A in another) — a potential deadlock under concurrency.
+	CodeLockCycle = "lock.cycle"
+	// CodeLockUnbalanced: a mutex locked on some path that can return
+	// (or fall off the end of the function) without the matching unlock
+	// and with no deferred unlock covering it.
+	CodeLockUnbalanced = "lock.unbalanced"
+
+	// CodeAllocEscape: a heap escape the compiler reports inside the
+	// body of a //lint:alloc-free function — the static half of the
+	// AllocsPerRun zero-allocation pins.
+	CodeAllocEscape = "alloc.escape"
+	// CodeAllocDriver: the compiler-assisted alloc-pin driver could not
+	// run (go toolchain missing or the build failed), so annotated
+	// functions were not verified.
+	CodeAllocDriver = "alloc.driver"
+
 	// CodeUnusedSuppression: a //lint:ignore comment that suppressed
 	// nothing — stale suppressions hide future regressions.
 	CodeUnusedSuppression = "lint.unused-suppression"
@@ -149,6 +201,12 @@ type Document struct {
 	// Suppressions counts the //lint:ignore comments that matched (and
 	// silenced) a finding — the audited escape-hatch usage.
 	Suppressions int `json:"suppressions,omitempty"`
+	// Analyzers counts the analyzers that ran — the suite-growth
+	// header future PRs read to see the suite expanding.
+	Analyzers int `json:"analyzers,omitempty"`
+	// ElapsedMS is the whole-repo wall-clock runtime of the suite in
+	// milliseconds (load + all analyzers), recorded by Run.
+	ElapsedMS int64 `json:"elapsed_ms,omitempty"`
 
 	Findings []Finding `json:"findings"`
 }
@@ -235,6 +293,28 @@ func Validate(data []byte) error {
 	}
 	if packages < 0 {
 		return fmt.Errorf("packages is negative: %d", packages)
+	}
+	// Optional header fields (append-only additions within v1): when
+	// present they must be well-typed and non-negative.
+	opt := func(key string) (int64, error) {
+		msg, ok := raw[key]
+		if !ok {
+			return 0, nil
+		}
+		var v int64
+		if err := json.Unmarshal(msg, &v); err != nil {
+			return 0, fmt.Errorf("field %q: %w", key, err)
+		}
+		if v < 0 {
+			return 0, fmt.Errorf("%s is negative: %d", key, v)
+		}
+		return v, nil
+	}
+	if _, err := opt("analyzers"); err != nil {
+		return err
+	}
+	if _, err := opt("elapsed_ms"); err != nil {
+		return err
 	}
 	var findings []Finding
 	if err := req("findings", &findings); err != nil {

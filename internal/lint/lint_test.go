@@ -113,6 +113,9 @@ func TestValidateRejections(t *testing.T) {
 				"analyzer": "a", "code": "c.d", "file": "", "line": 0, "col": 0, "message": "m",
 			}}
 		}, "no position"},
+		{"negative analyzers", func(m map[string]any) { m["analyzers"] = -3 }, "analyzers is negative"},
+		{"non-numeric analyzers", func(m map[string]any) { m["analyzers"] = "nine" }, "analyzers"},
+		{"negative elapsed", func(m map[string]any) { m["elapsed_ms"] = -1 }, "elapsed_ms is negative"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -139,4 +142,41 @@ func TestValidateAllowsUnknownFields(t *testing.T) {
 	if err := Validate([]byte(doc)); err != nil {
 		t.Errorf("Validate rejects appended field: %v", err)
 	}
+}
+
+// TestRunRecordsSuiteHeader pins the analyzer-count and runtime fields
+// Run stamps into the report header: the suite-growth trail future PRs
+// read (and the CI transnlint job asserts on). Validate must accept the
+// populated header, and the JSON field names are part of the schema.
+func TestRunRecordsSuiteHeader(t *testing.T) {
+	m, err := Load("testdata/suppress", "fixture")
+	if err != nil {
+		t.Fatalf("load fixture: %v", err)
+	}
+	doc := Run(m, Options{
+		DeterminismPkgs: []string{"fixture/core"},
+		MapOrderPkgs:    []string{"fixture/core"},
+	}, Analyzers(), "header")
+	if doc.Analyzers != len(Analyzers()) {
+		t.Errorf("doc.Analyzers = %d, want %d (the full suite)", doc.Analyzers, len(Analyzers()))
+	}
+	if doc.ElapsedMS < 0 {
+		t.Errorf("doc.ElapsedMS = %d, want >= 0", doc.ElapsedMS)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, doc); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if err := Validate(buf.Bytes()); err != nil {
+		t.Errorf("Validate rejects a document with the suite header: %v", err)
+	}
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(buf.Bytes(), &raw); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := raw["analyzers"]; !ok {
+		t.Errorf("report JSON is missing the analyzers field")
+	}
+	// elapsed_ms is omitempty, so a sub-millisecond run may drop it —
+	// only the name is pinned, via the negative-value rejection above.
 }

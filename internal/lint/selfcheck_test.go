@@ -9,7 +9,8 @@ import (
 // the production options — the same check CI's transnlint job and the
 // transnlint binary perform. The tree must be clean: every invariant
 // the analyzers encode (norace containment, determinism, finite
-// hygiene, schema-registry consistency) holds at HEAD, and every
+// hygiene, schema-registry consistency, atomic consistency, goroutine
+// lifecycle, lock ordering, alloc-free pins) holds at HEAD, and every
 // suppression in the tree is still earning its keep.
 func TestSelfCheck(t *testing.T) {
 	if testing.Short() {
@@ -39,7 +40,17 @@ func TestSelfCheck(t *testing.T) {
 	for _, a := range Analyzers() {
 		names = append(names, a.Name)
 	}
-	if got := strings.Join(names, ","); got != "norace-containment,determinism,finite-hygiene,schema-registry,doccheck" {
+	const suite = "norace-containment,determinism,finite-hygiene,schema-registry,doccheck," +
+		"atomic-consistency,goroutine-lifecycle,lock-order,alloc-pin"
+	if got := strings.Join(names, ","); got != suite {
 		t.Errorf("analyzer suite = %s; order and names are part of the report contract", got)
+	}
+	// The report header counts the suite and times the run — the
+	// suite-growth trail future PRs read.
+	if doc.Analyzers != 9 {
+		t.Errorf("doc.Analyzers = %d, want 9", doc.Analyzers)
+	}
+	if doc.ElapsedMS < 0 {
+		t.Errorf("doc.ElapsedMS = %d, want >= 0", doc.ElapsedMS)
 	}
 }

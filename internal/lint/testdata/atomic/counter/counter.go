@@ -1,0 +1,66 @@
+// Package counter exercises the atomic-consistency analyzer: a field
+// touched through raw sync/atomic anywhere must be accessed atomically
+// everywhere, and 64-bit atomics need 8-byte-aligned offsets under the
+// 32-bit struct layout.
+package counter
+
+import "sync/atomic"
+
+// Stats mixes aligned and misaligned atomically-owned fields: under
+// GOARCH=386 hits sits at offset 0 (fine) and miss at offset 12 (a
+// runtime panic on 32-bit).
+type Stats struct {
+	hits int64
+	pad  int32
+	miss int64 // want atomic.alignment
+}
+
+// total is an atomically-owned package variable.
+var total int64
+
+// Bump is all-atomic: clean.
+func Bump(s *Stats) {
+	atomic.AddInt64(&s.hits, 1)
+	atomic.AddInt64(&s.miss, 1)
+	atomic.AddInt64(&total, 1)
+}
+
+// Read loads atomically: clean.
+func Read(s *Stats) int64 {
+	return atomic.LoadInt64(&s.hits) + atomic.LoadInt64(&total)
+}
+
+// Race reads an atomically-owned field plainly — the data race the
+// analyzer exists for.
+func Race(s *Stats) int64 {
+	return s.hits // want atomic.mixed-access
+}
+
+// Plain writes the package variable plainly.
+func Plain() {
+	total = 0 // want atomic.mixed-access
+}
+
+// New builds a Stats: composite-literal field keys are declarations,
+// not accesses, so this is clean.
+func New() *Stats {
+	return &Stats{hits: 0, miss: 0}
+}
+
+// Init writes before any reader can exist; the suppression vouches for
+// the happens-before edge.
+func Init(s *Stats) {
+	//lint:ignore atomic.mixed-access construction-time write before any reader exists
+	s.hits = 0
+}
+
+// Quiet holds the stale suppressions: nothing fires on these lines, so
+// each ignore is itself a finding.
+func Quiet() {
+	// want-next lint.unused-suppression
+	//lint:ignore atomic.mixed-access nothing races on this line
+	x := 1
+	// want-next lint.unused-suppression
+	//lint:ignore atomic.alignment nothing misaligned on this line
+	_ = x
+}

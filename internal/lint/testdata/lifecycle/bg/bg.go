@@ -1,0 +1,112 @@
+// Package bg exercises the goroutine-lifecycle analyzer: background
+// loops need a stop path and tickers need a Stop.
+package bg
+
+import "time"
+
+func work() {}
+
+// Leak spins a goroutine with no way out: no done receive, no return.
+func Leak() {
+	go func() {
+		for { // want lifecycle.goroutine-leak
+			work()
+		}
+	}()
+}
+
+// spin loops forever; reported when a goroutine reaches it through the
+// call graph.
+func spin() {
+	for { // want lifecycle.goroutine-leak
+		work()
+	}
+}
+
+// LaunchNamed leaks through a named entry point.
+func LaunchNamed() {
+	go spin()
+}
+
+// Drop arms a ticker nobody stops, then ranges its channel forever.
+func Drop() {
+	t := time.NewTicker(time.Second) // want lifecycle.ticker-stop
+	go func() {
+		for range t.C { // want lifecycle.goroutine-leak
+			work()
+		}
+	}()
+}
+
+// Inline can never stop its ticker: the constructor result is consumed
+// directly, and ticker channels never close.
+func Inline() {
+	go func() {
+		for range time.NewTicker(time.Second).C { // want lifecycle.ticker-stop lifecycle.goroutine-leak
+			work()
+		}
+	}()
+}
+
+// Stoppable is the clean shape: done-channel select, deferred Stop.
+func Stoppable(done chan struct{}) {
+	go func() {
+		t := time.NewTicker(time.Second)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				work()
+			}
+		}
+	}()
+}
+
+// Server owns a ticker field with a matching Stop elsewhere in the
+// package: clean.
+type Server struct {
+	tick *time.Ticker
+}
+
+// Start arms the field ticker.
+func (s *Server) Start() {
+	s.tick = time.NewTicker(time.Second)
+}
+
+// Close stops it.
+func (s *Server) Close() {
+	s.tick.Stop()
+}
+
+// Bad owns a ticker no function in the package ever stops.
+type Bad struct {
+	tick *time.Ticker
+}
+
+// Arm arms the doomed field ticker.
+func (b *Bad) Arm() {
+	b.tick = time.NewTicker(time.Second) // want lifecycle.ticker-stop
+}
+
+// Forever is a process-lifetime worker; the suppression vouches that
+// exit is the stop path.
+func Forever() {
+	go func() {
+		//lint:ignore lifecycle.goroutine-leak process-lifetime worker, reaped at exit
+		for {
+			work()
+		}
+	}()
+}
+
+// Quiet holds the stale suppressions.
+func Quiet() {
+	// want-next lint.unused-suppression
+	//lint:ignore lifecycle.goroutine-leak nothing loops here
+	work()
+	// want-next lint.unused-suppression
+	//lint:ignore lifecycle.ticker-stop nothing ticks here
+	work()
+}

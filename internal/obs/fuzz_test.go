@@ -1,0 +1,221 @@
+package obs
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// Fuzz targets for the three schema validators the debug endpoints and
+// CLIs expose to arbitrary on-disk input: ValidateReport,
+// ValidateTraceDump and ValidateHistoryDump. The property under test is
+// total robustness — a validator may reject, but must never panic, on
+// any byte string. Seeds are built as deterministic struct literals
+// (not via live Run/History instances) so the committed corpora under
+// testdata/fuzz/<FuzzName>/ are stable bytes; TestFuzzCorpusCommitted
+// keeps them in sync with the builders.
+
+// fuzzSeedReport is a minimal valid transn.telemetry.report/v1 document.
+func fuzzSeedReport(tb testing.TB) []byte {
+	tb.Helper()
+	rep := &Report{
+		Schema:      ReportSchema,
+		Name:        "fuzz-seed",
+		WallSeconds: 1.5,
+		Stages: []StageSummary{
+			{Name: "walk", Count: 2, TotalSeconds: 0.9, MinSeconds: 0.4, MaxSeconds: 0.5},
+		},
+		Counters: map[string]int64{MetricSkipgramPairs: 10},
+		Gauges:   map[string]float64{"loss": 0.25},
+	}
+	var buf bytes.Buffer
+	if err := WriteReport(&buf, rep); err != nil {
+		tb.Fatalf("build report seed: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// fuzzSeedTraceDump is a minimal valid transn.trace.serve/v1 document
+// with one sampled record touching a declared stage.
+func fuzzSeedTraceDump(tb testing.TB) []byte {
+	tb.Helper()
+	d := &TraceDump{
+		Schema:     TraceDumpSchema,
+		Ring:       TraceRingRequests,
+		Capacity:   4,
+		Seen:       1,
+		Kept:       1,
+		SampleHead: 1,
+		SampleRate: 1,
+		Traces: []TraceRecord{{
+			ID:           "req-1",
+			Seq:          1,
+			Endpoint:     "translate",
+			Start:        time.Unix(0, 0).UTC(),
+			TotalSeconds: 0.01,
+			Stages:       map[string]float64{string(TraceStageDecode): 0.001},
+			Outcome:      TraceOutcomeOK,
+			Status:       200,
+			Sampled:      true,
+		}},
+	}
+	var buf bytes.Buffer
+	if err := WriteTraceDump(&buf, d); err != nil {
+		tb.Fatalf("build trace seed: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// fuzzSeedHistoryDump is a minimal valid transn.history/v1 document with
+// two fine samples and an empty coarse ring.
+func fuzzSeedHistoryDump(tb testing.TB) []byte {
+	tb.Helper()
+	d := &HistoryDump{
+		Schema: HistorySchema,
+		Resolutions: []HistoryResolution{
+			{
+				Name:            HistoryResFine,
+				IntervalSeconds: 1,
+				Capacity:        4,
+				Taken:           2,
+				TimesUnixMS:     []int64{1000, 2000},
+				OffsetSeconds:   []float64{0, 1},
+				Counters:        map[string][]int64{MetricServeRequests: {3, 7}},
+				Rates:           map[string][]float64{MetricServeRequests: {0, 4}},
+				Gauges:          map[string][]float64{MetricRuntimeGoroutines: {8, 9}},
+			},
+			{
+				Name:            HistoryResCoarse,
+				IntervalSeconds: 60,
+				Capacity:        4,
+				TimesUnixMS:     []int64{},
+				OffsetSeconds:   []float64{},
+				Counters:        map[string][]int64{},
+				Rates:           map[string][]float64{},
+				Gauges:          map[string][]float64{},
+			},
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteHistoryDump(&buf, d); err != nil {
+		tb.Fatalf("build history seed: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func FuzzValidateReport(f *testing.F) {
+	f.Add(fuzzSeedReport(f))
+	f.Add([]byte(`{"schema":"transn.telemetry.report/v1"}`))
+	f.Add([]byte("not json"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_ = ValidateReport(data) // must not panic
+	})
+}
+
+func FuzzValidateTraceDump(f *testing.F) {
+	f.Add(fuzzSeedTraceDump(f))
+	f.Add([]byte(`{"schema":"transn.trace.serve/v1","ring":"slow","capacity":1}`))
+	f.Add([]byte("{"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_ = ValidateTraceDump(data) // must not panic
+	})
+}
+
+func FuzzValidateHistoryDump(f *testing.F) {
+	f.Add(fuzzSeedHistoryDump(f))
+	f.Add([]byte(`{"schema":"transn.history/v1","resolutions":[]}`))
+	f.Add([]byte("[]"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_ = ValidateHistoryDump(data) // must not panic
+	})
+}
+
+// corpusEntries maps each fuzz target's committed corpus files to their
+// expected contents. "valid" entries must pass their validator; the
+// rest only have to be handled without panicking.
+func corpusEntries(tb testing.TB) map[string]map[string][]byte {
+	return map[string]map[string][]byte{
+		"FuzzValidateReport": {
+			"seed-valid":        fuzzSeedReport(tb),
+			"seed-missing-name": []byte(`{"schema":"transn.telemetry.report/v1","wall_seconds":1}`),
+			"seed-wrong-schema": []byte(`{"schema":"transn.telemetry.report/v9"}`),
+		},
+		"FuzzValidateTraceDump": {
+			"seed-valid":         fuzzSeedTraceDump(tb),
+			"seed-over-capacity": []byte(`{"schema":"transn.trace.serve/v1","ring":"requests","capacity":0}`),
+			"seed-wrong-schema":  []byte(`{"schema":"transn.trace.serve/v9"}`),
+		},
+		"FuzzValidateHistoryDump": {
+			"seed-valid":           fuzzSeedHistoryDump(tb),
+			"seed-one-resolution":  []byte(`{"schema":"transn.history/v1","resolutions":[{"name":"fine"}]}`),
+			"seed-ragged-counters": []byte(`{"schema":"transn.history/v1","resolutions":[{"name":"fine","interval_seconds":1,"capacity":2,"taken":1,"times_unix_ms":[1],"offset_seconds":[0],"counters":{"serve.requests":[1,2]},"rates":{},"gauges":{}},{"name":"coarse","interval_seconds":60,"capacity":2,"times_unix_ms":[],"offset_seconds":[],"counters":{},"rates":{},"gauges":{}}]}`),
+		},
+	}
+}
+
+// corpusFile renders one seed in the "go test fuzz v1" encoding that
+// `go test` reads from testdata/fuzz/<FuzzName>/.
+func corpusFile(data []byte) []byte {
+	return []byte("go test fuzz v1\n[]byte(" + strconv.Quote(string(data)) + ")\n")
+}
+
+// TestFuzzCorpusCommitted pins the committed seed corpora: every entry
+// corpusEntries describes must exist under testdata/fuzz/<FuzzName>/
+// with exactly the encoded bytes, and the valid seeds must actually
+// pass their validator (so the corpus can't rot into all-rejects).
+// Regenerate with TRANSN_REGEN_CORPUS=1 go test ./internal/obs -run
+// TestFuzzCorpusCommitted.
+func TestFuzzCorpusCommitted(t *testing.T) {
+	regen := os.Getenv("TRANSN_REGEN_CORPUS") != ""
+	validators := map[string]func([]byte) error{
+		"FuzzValidateReport":      ValidateReport,
+		"FuzzValidateTraceDump":   ValidateTraceDump,
+		"FuzzValidateHistoryDump": ValidateHistoryDump,
+	}
+	for target, entries := range corpusEntries(t) {
+		dir := filepath.Join("testdata", "fuzz", target)
+		for name, seed := range entries {
+			path := filepath.Join(dir, name)
+			want := corpusFile(seed)
+			if regen {
+				if err := os.MkdirAll(dir, 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, want, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				continue
+			}
+			got, err := os.ReadFile(path)
+			if err != nil {
+				t.Errorf("corpus entry %s missing (regenerate with TRANSN_REGEN_CORPUS=1): %v", path, err)
+				continue
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("corpus entry %s is stale (regenerate with TRANSN_REGEN_CORPUS=1)", path)
+			}
+			if strings.HasPrefix(name, "seed-valid") {
+				if err := validators[target](seed); err != nil {
+					t.Errorf("%s/%s no longer validates: %v", target, name, err)
+				}
+			}
+		}
+		// Stray files would silently widen the corpus CI thinks it pinned.
+		ents, err := os.ReadDir(dir)
+		if err != nil {
+			if !regen {
+				t.Errorf("corpus dir %s: %v", dir, err)
+			}
+			continue
+		}
+		for _, e := range ents {
+			if _, ok := entries[e.Name()]; !ok {
+				t.Errorf("unexpected corpus entry %s", filepath.Join(dir, e.Name()))
+			}
+		}
+	}
+}

@@ -149,6 +149,8 @@ func (tr *ReqTrace) Sampled() bool {
 
 // StartStage marks the stage as entered now. Re-entering a stage
 // restarts its clock; unknown stages are ignored.
+//
+//lint:alloc-free per-stage timing on every traced request; nil path runs per untraced request
 func (tr *ReqTrace) StartStage(s TraceStage) {
 	if tr == nil {
 		return
@@ -162,6 +164,8 @@ func (tr *ReqTrace) StartStage(s TraceStage) {
 
 // EndStage records the stage's duration since its StartStage. Without a
 // prior StartStage it is a no-op.
+//
+//lint:alloc-free per-stage timing on every traced request; nil path runs per untraced request
 func (tr *ReqTrace) EndStage(s TraceStage) {
 	if tr == nil {
 		return
@@ -182,6 +186,8 @@ func (tr *ReqTrace) EndStage(s TraceStage) {
 }
 
 // SetCacheHit marks the request as served from the vector cache.
+//
+//lint:alloc-free disabled-path no-op pinned by the trace AllocsPerRun test
 func (tr *ReqTrace) SetCacheHit() {
 	if tr == nil {
 		return
@@ -191,6 +197,8 @@ func (tr *ReqTrace) SetCacheHit() {
 
 // SetCoalesced marks the request as having joined an identical
 // in-flight computation instead of running its own forward pass.
+//
+//lint:alloc-free disabled-path no-op pinned by the trace AllocsPerRun test
 func (tr *ReqTrace) SetCoalesced() {
 	if tr == nil {
 		return
@@ -199,6 +207,8 @@ func (tr *ReqTrace) SetCoalesced() {
 }
 
 // SetGeneration records the snapshot generation that served the request.
+//
+//lint:alloc-free disabled-path no-op pinned by the trace AllocsPerRun test
 func (tr *ReqTrace) SetGeneration(gen uint64) {
 	if tr == nil {
 		return
