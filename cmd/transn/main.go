@@ -22,6 +22,17 @@
 //	    and translator health, walk-corpus coverage, convergence (from
 //	    a recorded -events stream). Exits non-zero on error findings.
 //
+//	transn snapshot pack -input net.tsv -model model.gob -output model.snap
+//	    Pack a trained gob model into a transn.snap/v1 serving snapshot
+//	    (see SNAPSHOT.md): mmap-friendly float tables plus, by default,
+//	    a prebuilt deterministic HNSW index. transnserve loads it with
+//	    -snapshot-format snap.
+//
+//	transn snapshot inspect -snapshot model.snap [-json]
+//	    Validate a .snap file (header, directory, checksum) and print
+//	    its shape and section table; -json emits the
+//	    transn.snap.inspect/v1 document `transn checkreport` accepts.
+//
 //	transn watch -target http://host:port
 //	    Poll a running transnserve's /debug/history flight recorder and
 //	    render a live terminal view of its request-rate, latency-p99,
@@ -43,6 +54,7 @@ import (
 	"strconv"
 	"strings"
 
+	"transn/internal/ann"
 	"transn/internal/baselines"
 	"transn/internal/baselines/hin2vec"
 	"transn/internal/baselines/line"
@@ -58,6 +70,7 @@ import (
 	"transn/internal/load"
 	"transn/internal/mat"
 	"transn/internal/obs"
+	"transn/internal/snapfmt"
 	"transn/internal/transn"
 )
 
@@ -91,6 +104,8 @@ func main() {
 		err = cmdEvaluate(os.Args[2:])
 	case "diagnose":
 		err = cmdDiagnose(os.Args[2:])
+	case "snapshot":
+		err = cmdSnapshot(os.Args[2:])
 	case "checkreport":
 		err = cmdCheckReport(os.Args[2:])
 	case "watch":
@@ -109,7 +124,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: transn <train|stats|generate|neighbors|evaluate|diagnose|checkreport|watch> [flags]
+	fmt.Fprintln(os.Stderr, `usage: transn <train|stats|generate|neighbors|evaluate|diagnose|snapshot|checkreport|watch> [flags]
 
   train       -input net.tsv -output emb.tsv [-method transn] [-dim 64]
               [-seed 1] [-iterations 5] [-walklen 40] [-encoders 2]
@@ -124,8 +139,12 @@ func usage() {
   diagnose    -input net.tsv -model model.gob [-output diag.json]
               [-summary] [-events ev.jsonl] [-no-corpus] [-corpus-seed 1]
               [-coverage-warn 0.95] [-workers 0]
+  snapshot    pack -input net.tsv -model model.gob -output model.snap
+              [-ann] [-ann-m 16] [-ann-ef-construction 200] [-ann-seed 0]
+              | inspect -snapshot model.snap [-json]
   checkreport -report rep.json (telemetry, diagnostics, lint, trace,
-              history or serving-bench document)
+              history, serving-bench, snapshot-inspect or knn-bench
+              document)
   watch       -target http://host:port [-interval 2s] [-res fine|coarse]
               [-frames N] [-width 60] (live terminal view of a
               transnserve /debug/history metrics feed)`)
@@ -282,6 +301,8 @@ var reportValidators = []reportValidator{
 	{obs.TraceDumpSchema, "dump", obs.ValidateTraceDump},
 	{obs.HistorySchema, "dump", obs.ValidateHistoryDump},
 	{load.BenchSchema, "report", load.Validate},
+	{snapfmt.InspectSchema, "document", snapfmt.ValidateInspect},
+	{ann.BenchSchema, "document", ann.ValidateBench},
 	{obs.ReportSchema, "report", obs.ValidateReport},
 }
 

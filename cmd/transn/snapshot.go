@@ -1,0 +1,127 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"transn/internal/ann"
+	"transn/internal/snapfmt"
+	"transn/internal/transn"
+)
+
+// cmdSnapshot dispatches the snapshot subcommand's verbs: pack (gob →
+// transn.snap/v1) and inspect (validate + describe a .snap file).
+func cmdSnapshot(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("snapshot: a verb is required: pack or inspect")
+	}
+	switch args[0] {
+	case "pack":
+		return cmdSnapshotPack(args[1:])
+	case "inspect":
+		return cmdSnapshotInspect(args[1:])
+	default:
+		return fmt.Errorf("snapshot: unknown verb %q (want pack or inspect)", args[0])
+	}
+}
+
+// cmdSnapshotPack packs a trained gob model into a transn.snap/v1
+// file, embedding a deterministic HNSW index unless -ann=false.
+func cmdSnapshotPack(args []string) error {
+	fs := flag.NewFlagSet("snapshot pack", flag.ExitOnError)
+	input := fs.String("input", "", "network TSV the model was trained on (required)")
+	model := fs.String("model", "", "trained model gob from `transn train -model` (required)")
+	output := fs.String("output", "", "output .snap path (required)")
+	withANN := fs.Bool("ann", true, "embed a prebuilt HNSW index over the final table")
+	annM := fs.Int("ann-m", 0, "HNSW max neighbors per node on upper layers (0 = default 16)")
+	annEfC := fs.Int("ann-ef-construction", 0, "HNSW construction beam width (0 = default 200)")
+	annEfS := fs.Int("ann-ef-search", 0, "HNSW default search beam width stored in the index (0 = default 64)")
+	annSeed := fs.Int64("ann-seed", 0, "seed for the deterministic HNSW level draws")
+	fs.Parse(args)
+	if *input == "" || *model == "" || *output == "" {
+		return fmt.Errorf("snapshot pack: -input, -model and -output are required")
+	}
+	g, err := loadGraph(*input)
+	if err != nil {
+		return err
+	}
+	mf, err := os.Open(*model)
+	if err != nil {
+		return err
+	}
+	defer mf.Close()
+	m, err := transn.Load(mf, g)
+	if err != nil {
+		return err
+	}
+	src, err := snapfmt.FromModel(m, g)
+	if err != nil {
+		return err
+	}
+	if *withANN {
+		idx, err := ann.Build(src.Final, ann.Norms(src.Final), ann.Config{
+			M: *annM, EfConstruction: *annEfC, EfSearch: *annEfS, Seed: *annSeed,
+		})
+		if err != nil {
+			return err
+		}
+		src.ANN = idx.AppendTo(nil)
+		st := idx.Stats()
+		infof("transn: built HNSW index: %d nodes, %d edges, max level %d\n",
+			st.Nodes, st.Edges, st.MaxLevel)
+	}
+	out, err := os.Create(*output)
+	if err != nil {
+		return err
+	}
+	if err := snapfmt.Pack(out, src); err != nil {
+		out.Close()
+		return err
+	}
+	if err := out.Close(); err != nil {
+		return err
+	}
+	fi, err := os.Stat(*output)
+	if err != nil {
+		return err
+	}
+	infof("transn: packed %s (%d bytes)\n", *output, fi.Size())
+	return nil
+}
+
+// cmdSnapshotInspect opens a .snap file — running the format's full
+// fail-closed validation (SNAPSHOT.md) — and prints its shape and
+// section directory; -json emits the transn.snap.inspect/v1 document.
+func cmdSnapshotInspect(args []string) error {
+	fs := flag.NewFlagSet("snapshot inspect", flag.ExitOnError)
+	path := fs.String("snapshot", "", ".snap file to inspect (required)")
+	asJSON := fs.Bool("json", false, "emit the transn.snap.inspect/v1 JSON document")
+	fs.Parse(args)
+	if *path == "" {
+		return fmt.Errorf("snapshot inspect: -snapshot is required")
+	}
+	s, err := snapfmt.Open(*path, snapfmt.OpenOptions{NoMmap: true})
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+	doc := s.Describe()
+	if *asJSON {
+		data, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(data))
+		return nil
+	}
+	fmt.Printf("%s: transn.snap/v%d, %d bytes, checksum %s\n", *path, doc.Version, doc.SizeBytes, doc.Checksum)
+	fmt.Printf("  shape: %d nodes, %d views, %d translator pairs, dim %d, ann=%v\n",
+		doc.Nodes, doc.Views, doc.Pairs, doc.Dim, doc.HasANN)
+	fmt.Printf("  %-10s %5s %10s %10s\n", "section", "arg", "offset", "length")
+	for _, sec := range doc.Sections {
+		fmt.Printf("  %-10s %5d %10d %10d\n", sec.Kind, sec.Arg, sec.Offset, sec.Length)
+	}
+	return nil
+}

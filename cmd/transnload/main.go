@@ -12,7 +12,8 @@
 //
 //	transnload -target http://127.0.0.1:8080 -graph network.tsv \
 //	    [-rate 200] [-duration 10s] [-warmup 2s] \
-//	    [-mix embedding=4,translate=3,knn=2,infer=1] [-seed 1] \
+//	    [-mix embedding=4,translate=3,knn=2,infer=1 | -profile knn-heavy] \
+//	    [-seed 1] \
 //	    [-reloads 0] [-timeout 10s] [-report bench.json] [-gate slo.json] \
 //	    [-slow 10]
 //
@@ -30,11 +31,27 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"transn/internal/graph"
 	"transn/internal/load"
+	"transn/internal/ordered"
 )
+
+// profiles are the named workload shapes -profile accepts, as -mix
+// weight strings. knn-heavy exercises the ANN-backed /v1/knn path (with
+// a light embedding/translate background so caches and the coalescer
+// stay warm) — CI's knn p99 SLO gate runs under it.
+var profiles = map[string]string{
+	"knn-heavy": "knn=8,embedding=1,translate=1",
+	"read-only": "embedding=3,translate=2,knn=2",
+}
+
+// profileNames lists the -profile vocabulary for usage and errors.
+func profileNames() string {
+	return strings.Join(ordered.Keys(profiles), ", ")
+}
 
 func main() {
 	code, err := run(os.Args[1:])
@@ -52,6 +69,7 @@ func run(args []string) (int, error) {
 	duration := fs.Duration("duration", 10*time.Second, "measured window length")
 	warmup := fs.Duration("warmup", 2*time.Second, "initial window excluded from the report")
 	mixFlag := fs.String("mix", "", "endpoint weights, e.g. embedding=4,translate=3,knn=2,infer=1 (default that mix)")
+	profile := fs.String("profile", "", "named workload profile instead of -mix: "+profileNames())
 	seed := fs.Int64("seed", 1, "workload seed; a fixed seed replays the identical request stream")
 	reloads := fs.Int("reloads", 0, "POST /admin/reload this many times, evenly spaced across the measured window")
 	timeout := fs.Duration("timeout", 10*time.Second, "per-request client timeout")
@@ -64,7 +82,21 @@ func run(args []string) (int, error) {
 		return 1, fmt.Errorf("-target and -graph are required")
 	}
 
+	if *mixFlag != "" && *profile != "" {
+		return 1, fmt.Errorf("-mix and -profile are mutually exclusive")
+	}
 	mix := load.DefaultMix()
+	if *profile != "" {
+		weights, ok := profiles[*profile]
+		if !ok {
+			return 1, fmt.Errorf("unknown profile %q (want one of: %s)", *profile, profileNames())
+		}
+		m, err := load.ParseMix(weights)
+		if err != nil {
+			return 1, err
+		}
+		mix = m
+	}
 	if *mixFlag != "" {
 		m, err := load.ParseMix(*mixFlag)
 		if err != nil {

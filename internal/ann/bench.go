@@ -1,0 +1,219 @@
+package ann
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"transn/internal/mat"
+	"transn/internal/rngstream"
+)
+
+// BenchSchema identifies the knn benchmark trajectory document (the
+// BENCH_trajectory/BENCH_knn_pr10.json artifact and its CI twin),
+// validated by `transn checkreport`.
+const BenchSchema = "transn.bench.knn/v1"
+
+// BenchDoc is the schema-stable knn benchmark document: brute-force vs
+// HNSW latency and recall at several table sizes, under one fixed
+// build configuration.
+type BenchDoc struct {
+	// Schema is always BenchSchema.
+	Schema string `json:"schema"`
+	// Name labels the run (e.g. "pr10-trajectory").
+	Name string `json:"name"`
+	// Dim, K, Ef, Queries describe the workload: embedding dimension,
+	// neighbors requested, search beam width, and queries timed per
+	// table size.
+	Dim     int `json:"dim"`
+	K       int `json:"k"`
+	Ef      int `json:"ef"`
+	Queries int `json:"queries"`
+	// M, EfConstruction, Seed echo the index build configuration.
+	M              int   `json:"m"`
+	EfConstruction int   `json:"ef_construction"`
+	Seed           int64 `json:"seed"`
+	// Entries holds one measurement per table size, ascending.
+	Entries []BenchEntry `json:"entries"`
+}
+
+// BenchEntry is one table-size measurement in a BenchDoc.
+type BenchEntry struct {
+	// Nodes is the table size (row count).
+	Nodes int `json:"nodes"`
+	// BuildMillis is the HNSW construction time.
+	BuildMillis float64 `json:"build_millis"`
+	// BruteP50Micros / BruteP99Micros are per-query brute-force scan
+	// latencies; HNSWP50Micros / HNSWP99Micros the indexed ones.
+	BruteP50Micros float64 `json:"brute_p50_micros"`
+	BruteP99Micros float64 `json:"brute_p99_micros"`
+	HNSWP50Micros  float64 `json:"hnsw_p50_micros"`
+	HNSWP99Micros  float64 `json:"hnsw_p99_micros"`
+	// RecallAtK is |HNSW top-k ∩ brute top-k| / k averaged over the
+	// timed queries.
+	RecallAtK float64 `json:"recall_at_k"`
+	// SpeedupP99 is BruteP99Micros / HNSWP99Micros.
+	SpeedupP99 float64 `json:"speedup_p99"`
+}
+
+// ValidateBench checks a serialized BenchDoc for schema and structural
+// sanity; it is the `transn checkreport` hook for this document kind.
+func ValidateBench(data []byte) error {
+	var doc BenchDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("knn bench: %w", err)
+	}
+	if doc.Schema != BenchSchema {
+		return fmt.Errorf("knn bench: schema %q, want %q", doc.Schema, BenchSchema)
+	}
+	if doc.Name == "" {
+		return fmt.Errorf("knn bench: missing name")
+	}
+	if doc.Dim <= 0 || doc.K <= 0 || doc.Queries <= 0 {
+		return fmt.Errorf("knn bench: dim/k/queries must be positive")
+	}
+	if len(doc.Entries) == 0 {
+		return fmt.Errorf("knn bench: no entries")
+	}
+	prev := 0
+	for i, e := range doc.Entries {
+		if e.Nodes <= prev {
+			return fmt.Errorf("knn bench: entry %d nodes %d not ascending", i, e.Nodes)
+		}
+		prev = e.Nodes
+		for _, v := range []float64{e.BuildMillis, e.BruteP50Micros, e.BruteP99Micros, e.HNSWP50Micros, e.HNSWP99Micros, e.SpeedupP99} {
+			if math.IsNaN(v) || v < 0 {
+				return fmt.Errorf("knn bench: entry %d has a negative or NaN measurement", i)
+			}
+		}
+		if e.BruteP99Micros < e.BruteP50Micros || e.HNSWP99Micros < e.HNSWP50Micros {
+			return fmt.Errorf("knn bench: entry %d p99 below p50", i)
+		}
+		if e.RecallAtK < 0 || e.RecallAtK > 1 || math.IsNaN(e.RecallAtK) {
+			return fmt.Errorf("knn bench: entry %d recall %v outside [0,1]", i, e.RecallAtK)
+		}
+	}
+	return nil
+}
+
+// RandomTable generates a unit-free Gaussian table for benchmarks and
+// tests, deterministically from seed.
+func RandomTable(n, dim int, seed int64) *mat.Dense {
+	rng := rngstream.New(seed, int64(n), int64(dim))
+	t := mat.New(n, dim)
+	for i := range t.Data {
+		t.Data[i] = rng.NormFloat64()
+	}
+	return t
+}
+
+// BruteKNN is the exact reference: the k rows most cosine-similar to
+// q, ordered by (similarity desc, id asc) — the same order Search
+// approximates. It shares the zero-norm convention with the index.
+func BruteKNN(table *mat.Dense, norms []float64, q []float64, qn float64, k int) []Candidate {
+	res := make([]Candidate, 0, table.R)
+	for i := 0; i < table.R; i++ {
+		sim := 0.0
+		if qn != 0 && norms[i] != 0 {
+			sim = mat.Dot(q, table.Row(i)) / (qn * norms[i])
+		}
+		res = append(res, Candidate{ID: i, Sim: sim})
+	}
+	sort.Slice(res, func(a, b int) bool {
+		if res[a].Sim != res[b].Sim {
+			return res[a].Sim > res[b].Sim
+		}
+		return res[a].ID < res[b].ID
+	})
+	if len(res) > k {
+		res = res[:k]
+	}
+	return res
+}
+
+// MeasureBench builds indexes over random tables of the given sizes
+// and times brute-force vs HNSW top-k per query. Latencies are
+// wall-clock and machine-dependent; everything else (tables, queries,
+// recall) is deterministic in seed.
+func MeasureBench(name string, sizes []int, dim, k, queries, ef int, cfg Config, seed int64) (*BenchDoc, error) {
+	cfg = cfg.withDefaults()
+	doc := &BenchDoc{
+		Schema: BenchSchema, Name: name,
+		Dim: dim, K: k, Ef: ef, Queries: queries,
+		M: cfg.M, EfConstruction: cfg.EfConstruction, Seed: cfg.Seed,
+	}
+	if ef <= 0 {
+		doc.Ef = cfg.EfSearch
+	}
+	for _, n := range sizes {
+		table := RandomTable(n, dim, seed)
+		norms := Norms(table)
+		start := time.Now()
+		ix, err := Build(table, norms, cfg)
+		if err != nil {
+			return nil, err
+		}
+		e := BenchEntry{Nodes: n, BuildMillis: float64(time.Since(start).Microseconds()) / 1e3}
+		// Queries are table rows (the serving access pattern: /v1/knn
+		// looks up a stored node), cycled deterministically.
+		qrng := rngstream.New(seed, 0x71, int64(n))
+		bruteTimes := make([]float64, 0, queries)
+		annTimes := make([]float64, 0, queries)
+		recall := 0.0
+		for qi := 0; qi < queries; qi++ {
+			row := int(qrng.Int63n(int64(n)))
+			q := table.Row(row)
+			qn := norms[row]
+			t0 := time.Now()
+			exact := BruteKNN(table, norms, q, qn, k)
+			bruteTimes = append(bruteTimes, float64(time.Since(t0).Nanoseconds())/1e3)
+			t1 := time.Now()
+			approx, _, err := ix.Search(q, qn, k, ef)
+			if err != nil {
+				return nil, err
+			}
+			annTimes = append(annTimes, float64(time.Since(t1).Nanoseconds())/1e3)
+			recall += overlap(exact, approx) / float64(k)
+		}
+		e.RecallAtK = recall / float64(queries)
+		e.BruteP50Micros = percentile(bruteTimes, 0.50)
+		e.BruteP99Micros = percentile(bruteTimes, 0.99)
+		e.HNSWP50Micros = percentile(annTimes, 0.50)
+		e.HNSWP99Micros = percentile(annTimes, 0.99)
+		if e.HNSWP99Micros > 0 {
+			e.SpeedupP99 = e.BruteP99Micros / e.HNSWP99Micros
+		}
+		doc.Entries = append(doc.Entries, e)
+	}
+	return doc, nil
+}
+
+func overlap(exact, approx []Candidate) float64 {
+	hits := 0.0
+	for _, a := range approx {
+		for _, e := range exact {
+			if a.ID == e.ID {
+				hits++
+				break
+			}
+		}
+	}
+	return hits
+}
+
+// percentile returns the p-quantile (0..1) of samples by
+// nearest-rank on a sorted copy; empty input yields 0.
+func percentile(samples []float64, p float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	i := int(p * float64(len(s)))
+	if i >= len(s) {
+		i = len(s) - 1
+	}
+	return s[i]
+}

@@ -407,7 +407,7 @@ func Defaults() Options {
 	return Options{
 		NoracePkgs:      []string{"transn/internal/skipgram", "transn/internal/transn"},
 		ForbiddenPkgs:   []string{"transn/internal/obs"},
-		DeterminismPkgs: []string{"transn/internal/transn", "transn/internal/walk", "transn/internal/skipgram", "transn/internal/rngstream", "transn/internal/par", "transn/internal/mat", "transn/internal/graph"},
+		DeterminismPkgs: []string{"transn/internal/transn", "transn/internal/walk", "transn/internal/skipgram", "transn/internal/rngstream", "transn/internal/par", "transn/internal/mat", "transn/internal/graph", "transn/internal/ann", "transn/internal/snapfmt"},
 		MapOrderPkgs:    nil, // every package: reports, CLIs and examples all emit ordered output
 		FinitePkgs:      []string{"transn/internal/transn", "transn/internal/skipgram"},
 		GuardFuncs:      []string{"isFinite", "finiteSlice", "CheckFinite", "guardIteration"},

@@ -47,6 +47,21 @@ const (
 	// MetricServeQueueDepth is the number of translation computations
 	// currently queued or running in the coalescing executor.
 	MetricServeQueueDepth = "serve.queue_depth"
+	// MetricServeKNNExactFallback counts /v1/knn requests answered by
+	// the exact brute-force scan instead of the ANN index — either the
+	// caller asked (exact=true) or the snapshot has no index.
+	MetricServeKNNExactFallback = "serve.knn.exact_fallback"
+	// MetricANNSearches counts ANN index searches served.
+	MetricANNSearches = "ann.searches"
+	// MetricANNDistEvals counts distance evaluations spent inside ANN
+	// searches — the work metric that, divided by MetricANNSearches,
+	// shows sub-linear behaviour against table size.
+	MetricANNDistEvals = "ann.dist_evals"
+	// MetricSnapLoads counts .snap snapshot loads (initial + reloads).
+	MetricSnapLoads = "snap.loads"
+	// MetricSnapMappedBytes is the byte size of the currently mapped
+	// .snap file (0 when serving from gob or a copied load).
+	MetricSnapMappedBytes = "snap.mapped_bytes"
 	// MetricServeCoalesced counts requests that joined an identical
 	// in-flight computation instead of running their own forward pass —
 	// the coalescer's deduplication hit count.
@@ -124,4 +139,10 @@ const (
 	SpanLoadWarmup  = "load.warmup"
 	SpanLoadMeasure = "load.measure"
 	SpanLoadReload  = "load.reload"
+	// SpanSnapLoad covers opening + validating + decoding one .snap
+	// snapshot file (the O(header) part of a snap reload).
+	SpanSnapLoad = "snap.load"
+	// SpanANNBuild covers one HNSW index construction or decode at
+	// snapshot load time.
+	SpanANNBuild = "ann.build"
 )

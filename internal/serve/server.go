@@ -10,7 +10,19 @@ import (
 	"sync/atomic"
 	"time"
 
+	"transn/internal/ann"
 	"transn/internal/obs"
+)
+
+// Snapshot format names accepted by Config.SnapshotFormat and the
+// transnserve -snapshot-format flag.
+const (
+	// FormatGob is the training-side gob model written by `transn train
+	// -model` (requires the graph to re-derive the final table at load).
+	FormatGob = "gob"
+	// FormatSnap is the packed transn.snap/v1 file written by `transn
+	// snapshot pack` (mmap-friendly; reload is O(header)).
+	FormatSnap = "snap"
 )
 
 // Config configures a Server. GraphPath and ModelPath are required;
@@ -18,9 +30,13 @@ import (
 type Config struct {
 	// GraphPath is the network TSV the model was trained on.
 	GraphPath string
-	// ModelPath is the trained model gob written by `transn train
-	// -model` (or Model.Save).
+	// ModelPath is the trained model: a gob written by `transn train
+	// -model` (SnapshotFormat "gob") or a transn.snap/v1 file written by
+	// `transn snapshot pack` (SnapshotFormat "snap").
 	ModelPath string
+	// SnapshotFormat selects how ModelPath is decoded: FormatGob
+	// (default) or FormatSnap.
+	SnapshotFormat string
 
 	// CacheSize bounds the per-snapshot LRU of computed vectors
 	// (translations, inferred embeddings). 0 means the default (4096);
@@ -41,6 +57,17 @@ type Config struct {
 	DrainTimeout time.Duration
 	// MaxK caps the k parameter of /v1/knn. 0 means the default (100).
 	MaxK int
+
+	// ANNM, ANNEfConstruction and ANNEfSearch tune the HNSW index built
+	// (or decoded) at snapshot load; zero values take the ann package
+	// defaults (M=16, efConstruction=200, efSearch=64). ANNSeed seeds
+	// the deterministic level draws (0 is a valid seed). When the index
+	// is decoded from a .snap ANN section, the file's build parameters
+	// win — these apply only to fresh builds.
+	ANNM              int
+	ANNEfConstruction int
+	ANNEfSearch       int
+	ANNSeed           int64
 
 	// TraceDisabled turns off request-scoped tracing entirely: no
 	// request IDs are minted, /debug/requests and /debug/slow answer
@@ -101,6 +128,9 @@ type Config struct {
 
 // withDefaults fills zero fields with production defaults.
 func (c Config) withDefaults() Config {
+	if c.SnapshotFormat == "" {
+		c.SnapshotFormat = FormatGob
+	}
 	if c.CacheSize == 0 {
 		c.CacheSize = 4096
 	}
@@ -154,8 +184,22 @@ type Server struct {
 	stopWatchdog func()
 
 	reqs, errs, hits, misses, reloads *obs.Counter
+	annSearches, annDistEvals         *obs.Counter
+	knnFallback, snapLoads            *obs.Counter
 	latency                           *obs.Histogram
 	genGauge                          *obs.Gauge
+	snapMapped                        *obs.Gauge
+}
+
+// annConfig assembles the HNSW build parameters from the server config;
+// zero fields fall through to the ann package defaults.
+func (sv *Server) annConfig() ann.Config {
+	return ann.Config{
+		M:              sv.cfg.ANNM,
+		EfConstruction: sv.cfg.ANNEfConstruction,
+		EfSearch:       sv.cfg.ANNEfSearch,
+		Seed:           sv.cfg.ANNSeed,
+	}
 }
 
 // New loads the initial snapshot from cfg's paths and returns a ready
@@ -166,15 +210,24 @@ func New(cfg Config) (*Server, error) {
 	if cfg.GraphPath == "" || cfg.ModelPath == "" {
 		return nil, fmt.Errorf("serve: GraphPath and ModelPath are required")
 	}
+	if cfg.SnapshotFormat != FormatGob && cfg.SnapshotFormat != FormatSnap {
+		return nil, fmt.Errorf("serve: unknown snapshot format %q (want %q or %q)",
+			cfg.SnapshotFormat, FormatGob, FormatSnap)
+	}
 	run := obs.NewRun()
 	sv := &Server{
-		cfg:     cfg,
-		run:     run,
-		reqs:    run.Reg.Counter(obs.MetricServeRequests),
-		errs:    run.Reg.Counter(obs.MetricServeErrors),
-		hits:    run.Reg.Counter(obs.MetricServeCacheHits),
-		misses:  run.Reg.Counter(obs.MetricServeCacheMisses),
-		reloads: run.Reg.Counter(obs.MetricServeReloads),
+		cfg:          cfg,
+		run:          run,
+		reqs:         run.Reg.Counter(obs.MetricServeRequests),
+		errs:         run.Reg.Counter(obs.MetricServeErrors),
+		hits:         run.Reg.Counter(obs.MetricServeCacheHits),
+		misses:       run.Reg.Counter(obs.MetricServeCacheMisses),
+		reloads:      run.Reg.Counter(obs.MetricServeReloads),
+		annSearches:  run.Reg.Counter(obs.MetricANNSearches),
+		annDistEvals: run.Reg.Counter(obs.MetricANNDistEvals),
+		knnFallback:  run.Reg.Counter(obs.MetricServeKNNExactFallback),
+		snapLoads:    run.Reg.Counter(obs.MetricSnapLoads),
+		snapMapped:   run.Reg.Gauge(obs.MetricSnapMappedBytes),
 		latency: run.Reg.Histogram(obs.MetricServeLatency,
 			[]float64{0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5}),
 		genGauge: run.Reg.Gauge(obs.MetricServeSnapshotGen),
@@ -197,7 +250,7 @@ func New(cfg Config) (*Server, error) {
 	}
 	sv.coal = newCoalescer(cfg.TranslateWorkers,
 		run.Reg.Gauge(obs.MetricServeQueueDepth), run.Reg.Counter(obs.MetricServeCoalesced))
-	snap, err := loadSnapshot(cfg.GraphPath, cfg.ModelPath, 1, cfg.CacheSize)
+	snap, err := sv.loadSnapshot(1)
 	if err != nil {
 		return nil, err
 	}
@@ -288,7 +341,7 @@ func (sv *Server) Reload() error {
 	defer sv.reloadMu.Unlock()
 	sp := sv.run.Trace.Start(obs.SpanServeReload)
 	gen := sv.snap.Load().gen + 1
-	snap, err := loadSnapshot(sv.cfg.GraphPath, sv.cfg.ModelPath, gen, sv.cfg.CacheSize)
+	snap, err := sv.loadSnapshot(gen)
 	sp.End()
 	if err != nil {
 		return err

@@ -1,0 +1,350 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"testing"
+
+	"transn/internal/ann"
+	"transn/internal/graph"
+	"transn/internal/mat"
+	"transn/internal/snapfmt"
+	"transn/internal/transn"
+)
+
+// packSnapFile packs m into a transn.snap/v1 file in dir, optionally
+// embedding a default-parameter HNSW index, and returns its path.
+func packSnapFile(t testing.TB, m *transn.Model, dir, name string, withANN bool) string {
+	t.Helper()
+	src, err := snapfmt.FromModel(m, m.Graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withANN {
+		idx, err := ann.Build(src.Final, ann.Norms(src.Final), ann.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		src.ANN = idx.AppendTo(nil)
+	}
+	sp := filepath.Join(dir, name)
+	f, err := os.Create(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := snapfmt.Pack(f, src); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return sp
+}
+
+// getBody fetches url and returns the raw response body, requiring the
+// given status.
+func getBody(t *testing.T, url string, wantStatus int) []byte {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("GET %s = %d, want %d: %s", url, resp.StatusCode, wantStatus, body)
+	}
+	return body
+}
+
+// TestSnapFormatServesIdentically pins the format-equivalence contract:
+// a server booted from a packed .snap file answers byte-for-byte the
+// same responses as one booted from the training gob — with and without
+// an embedded ANN section (absent, the server builds the same index
+// from the same table with the same default parameters and seed).
+func TestSnapFormatServesIdentically(t *testing.T) {
+	dir := t.TempDir()
+	gp, mp, m := writeModelFiles(t, dir, 1)
+	svGob, err := New(Config{GraphPath: gp, ModelPath: mp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svGob.Shutdown()
+	tsGob := httptest.NewServer(svGob.Handler())
+	defer tsGob.Close()
+
+	paths := []string{
+		"/v1/embedding?node=A1",
+		"/v1/embedding?node=A3&view=affiliation",
+		"/v1/translate?node=A1&from=authorship&to=affiliation",
+		"/v1/knn?node=A1&k=3",
+		"/v1/knn?node=A1&k=3&exact=true",
+		"/v1/knn?node=P2&k=5&ef=32",
+		"/v1/model",
+	}
+	for _, withANN := range []bool{false, true} {
+		sp := packSnapFile(t, m, dir, fmt.Sprintf("model-%v.snap", withANN), withANN)
+		svSnap, err := New(Config{GraphPath: gp, ModelPath: sp, SnapshotFormat: FormatSnap})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tsSnap := httptest.NewServer(svSnap.Handler())
+		for _, p := range paths {
+			want := getBody(t, tsGob.URL+p, 200)
+			got := getBody(t, tsSnap.URL+p, 200)
+			if string(got) != string(want) {
+				t.Errorf("withANN=%v GET %s differs:\nsnap: %s\ngob:  %s", withANN, p, got, want)
+			}
+		}
+		if svSnap.snapLoads.Value() != 1 {
+			t.Errorf("snap.loads = %d, want 1", svSnap.snapLoads.Value())
+		}
+		tsSnap.Close()
+		svSnap.Shutdown()
+	}
+}
+
+// TestKNNParams pins /v1/knn's ef and exact parameter contract: bad
+// values are 400 bad_request, exact=true counts an exact fallback, and
+// the default path counts ANN searches and distance evaluations.
+func TestKNNParams(t *testing.T) {
+	sv, _ := newTestServer(t, Config{})
+	ts := httptest.NewServer(sv.Handler())
+	defer ts.Close()
+
+	for _, bad := range []string{
+		"/v1/knn?node=A1&ef=0",
+		"/v1/knn?node=A1&ef=nope",
+		"/v1/knn?node=A1&ef=-3",
+		fmt.Sprintf("/v1/knn?node=A1&ef=%d", ann.MaxEf+1),
+		"/v1/knn?node=A1&exact=banana",
+	} {
+		body := getBody(t, ts.URL+bad, 400)
+		if want := `"code": "bad_request"`; !contains(body, want) {
+			t.Errorf("GET %s: envelope %s does not carry %s", bad, body, want)
+		}
+	}
+
+	getBody(t, ts.URL+"/v1/knn?node=A1&k=3&exact=true", 200)
+	if got := sv.knnFallback.Value(); got != 1 {
+		t.Fatalf("serve.knn.exact_fallback = %d, want 1", got)
+	}
+	if got := sv.annSearches.Value(); got != 0 {
+		t.Fatalf("ann.searches = %d before any ann query", got)
+	}
+	getBody(t, ts.URL+"/v1/knn?node=A1&k=3&ef=16", 200)
+	if got := sv.annSearches.Value(); got != 1 {
+		t.Fatalf("ann.searches = %d, want 1", got)
+	}
+	if got := sv.annDistEvals.Value(); got <= 0 {
+		t.Fatalf("ann.dist_evals = %d, want > 0", got)
+	}
+	if got := sv.knnFallback.Value(); got != 1 {
+		t.Fatalf("serve.knn.exact_fallback moved to %d on the ann path", got)
+	}
+}
+
+func contains(b []byte, sub string) bool {
+	return len(sub) == 0 || len(b) >= len(sub) && stringsIndex(string(b), sub) >= 0
+}
+
+func stringsIndex(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+// syntheticModelFiles builds an untrained but structurally valid
+// single-view model over a chain graph, large enough that its float
+// tables dominate every fixed loading cost, and writes graph TSV, gob
+// and .snap (with embedded ANN) files.
+func syntheticModelFiles(t testing.TB, dir string, nodes, dim int) (gp, mp, sp string, floatBytes uint64) {
+	t.Helper()
+	b := graph.NewBuilder()
+	nt := b.NodeType("item")
+	et := b.EdgeType("link")
+	ids := make([]graph.NodeID, nodes)
+	for i := 0; i < nodes; i++ {
+		ids[i] = b.AddNode(nt, fmt.Sprintf("n%06d", i))
+	}
+	for i := 1; i < nodes; i++ {
+		b.AddEdge(ids[i-1], ids[i], et, 1)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := transn.DefaultConfig()
+	cfg.Dim = dim
+	cfg.Seed = 7
+	m, err := transn.FromExport(transn.Export{
+		Cfg:    cfg,
+		EmbIn:  []*mat.Dense{ann.RandomTable(nodes, dim, 11)},
+		EmbOut: []*mat.Dense{ann.RandomTable(nodes, dim, 12)},
+		TransW: [][2][]*mat.Dense{},
+		TransB: [][2][]*mat.Dense{},
+	}, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	gp = filepath.Join(dir, "graph.tsv")
+	gf, err := os.Create(gp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := graph.Store(gf, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := gf.Close(); err != nil {
+		t.Fatal(err)
+	}
+	mp = filepath.Join(dir, "model.gob")
+	mf, err := os.Create(mp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Save(mf); err != nil {
+		t.Fatal(err)
+	}
+	if err := mf.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sp = packSnapFile(t, m, dir, "model.snap", true)
+	// in + out + final tables, float64 each.
+	floatBytes = uint64(3 * nodes * dim * 8)
+	return gp, mp, sp, floatBytes
+}
+
+// reloadAllocs measures the heap bytes one Reload allocates.
+func reloadAllocs(t *testing.T, sv *Server) uint64 {
+	t.Helper()
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	if err := sv.Reload(); err != nil {
+		t.Fatal(err)
+	}
+	runtime.ReadMemStats(&after)
+	return after.TotalAlloc - before.TotalAlloc
+}
+
+// TestSnapReloadAllocationBounded pins the O(header) reload contract
+// (DESIGN.md §14): reloading from a mapped .snap must not
+// re-materialize the model's float tables, while the gob path
+// necessarily decodes and re-averages all of them. The snap reload's
+// allocations are bounded by the per-node index structures (norms, name
+// maps) — a small fraction of the table bytes — regardless of Dim.
+func TestSnapReloadAllocationBounded(t *testing.T) {
+	const nodes, dim = 3000, 256
+	dir := t.TempDir()
+	gp, mp, sp, floatBytes := syntheticModelFiles(t, dir, nodes, dim)
+	quiet := Config{
+		GraphPath: gp, ModelPath: mp,
+		TraceDisabled: true, HistoryDisabled: true, RuntimePollInterval: -1,
+	}
+	svGob, err := New(quiet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svGob.Shutdown()
+	snapCfg := quiet
+	snapCfg.ModelPath = sp
+	snapCfg.SnapshotFormat = FormatSnap
+	svSnap, err := New(snapCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svSnap.Shutdown()
+	if svSnap.snapMapped.Value() == 0 {
+		t.Skip("snap file is not mmapped on this platform; the copying fallback re-materializes tables by design")
+	}
+
+	gobAllocs := reloadAllocs(t, svGob)
+	snapAllocs := reloadAllocs(t, svSnap)
+	t.Logf("float tables = %d bytes; gob reload = %d bytes; snap reload = %d bytes",
+		floatBytes, gobAllocs, snapAllocs)
+	if gobAllocs < floatBytes {
+		t.Fatalf("gob reload allocated %d bytes, below the %d-byte float tables — the baseline cannot detect re-materialization", gobAllocs, floatBytes)
+	}
+	if snapAllocs > floatBytes/4 {
+		t.Fatalf("snap reload allocated %d bytes, more than a quarter of the %d-byte float tables — tables are being re-materialized", snapAllocs, floatBytes)
+	}
+}
+
+// TestSnapReloadMidTraffic hot-reloads a snap-format server while k-NN
+// and embedding traffic is in flight: every request must succeed and
+// the generation must advance — no request may observe a torn snapshot
+// or an unmapped table.
+func TestSnapReloadMidTraffic(t *testing.T) {
+	dir := t.TempDir()
+	gp, _, m := writeModelFiles(t, dir, 1)
+	sp := packSnapFile(t, m, dir, "model.snap", true)
+	sv, err := New(Config{GraphPath: gp, ModelPath: sp, SnapshotFormat: FormatSnap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sv.Shutdown()
+	ts := httptest.NewServer(sv.Handler())
+	defer ts.Close()
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	errCh := make(chan error, 4)
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, p := range []string{"/v1/knn?node=A1&k=3", "/v1/embedding?node=P1"} {
+					resp, err := http.Get(ts.URL + p)
+					if err != nil {
+						errCh <- err
+						return
+					}
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					if resp.StatusCode != 200 {
+						errCh <- fmt.Errorf("GET %s = %d mid-reload", p, resp.StatusCode)
+						return
+					}
+				}
+			}
+		}()
+	}
+	for i := 0; i < 5; i++ {
+		if err := sv.Reload(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+	if got := sv.Generation(); got != 6 {
+		t.Fatalf("generation = %d after 5 reloads, want 6", got)
+	}
+	if got := sv.snapLoads.Value(); got != 6 {
+		t.Fatalf("snap.loads = %d, want 6", got)
+	}
+}

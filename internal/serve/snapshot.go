@@ -4,19 +4,24 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"runtime"
 	"sort"
 
+	"transn/internal/ann"
 	"transn/internal/graph"
+	"transn/internal/obs"
+	"transn/internal/snapfmt"
 	"transn/internal/transn"
 )
 
 // snapshot is one immutable generation of serving state: a frozen model
-// plus every index derived from it (name lookups, k-NN norms) and the
-// per-snapshot LRU cache of computed vectors. Handlers grab the current
-// snapshot pointer once per request and work against it for the whole
-// request, so a concurrent hot reload never changes state mid-request —
-// the old snapshot stays valid until its last in-flight request
-// finishes, then the garbage collector reclaims it, cache and all.
+// plus every index derived from it (name lookups, k-NN norms, the HNSW
+// index) and the per-snapshot LRU cache of computed vectors. Handlers
+// grab the current snapshot pointer once per request and work against
+// it for the whole request, so a concurrent hot reload never changes
+// state mid-request — the old snapshot stays valid until its last
+// in-flight request finishes, then the garbage collector reclaims it,
+// cache, index and (for .snap loads) mmap included.
 type snapshot struct {
 	frozen *transn.Frozen
 	gen    uint64
@@ -31,16 +36,26 @@ type snapshot struct {
 	// norms[i] is the L2 norm of final embedding row i, precomputed for
 	// cosine k-NN.
 	norms []float64
+	// index is the HNSW index over the final table, owned by this
+	// snapshot (DESIGN.md §14): reloads swap table and index together,
+	// atomically. Nil only if construction was skipped (never in
+	// production paths).
+	index *ann.Index
+	// snapf keeps a .snap file's mapping alive for as long as this
+	// snapshot is reachable; the frozen tables may alias it. A
+	// finalizer closes it when the GC reclaims the snapshot, so the
+	// last in-flight request on a retired generation can never observe
+	// an unmapped table. Nil for gob-format loads.
+	snapf *snapfmt.Snapshot
 
 	cache *lru
 }
 
-// loadSnapshot reads the graph TSV and model gob from disk and builds a
-// serving snapshot of the given generation. The model must have been
-// saved against exactly this graph (transn.Load validates shapes) and
-// must be finite (Freeze validates values).
-func loadSnapshot(graphPath, modelPath string, gen uint64, cacheSize int) (*snapshot, error) {
-	gf, err := os.Open(graphPath)
+// loadSnapshot reads the graph TSV plus the configured model format
+// (gob or .snap) from disk and builds a serving snapshot of the given
+// generation.
+func (sv *Server) loadSnapshot(gen uint64) (*snapshot, error) {
+	gf, err := os.Open(sv.cfg.GraphPath)
 	if err != nil {
 		return nil, fmt.Errorf("serve: opening graph: %w", err)
 	}
@@ -49,7 +64,10 @@ func loadSnapshot(graphPath, modelPath string, gen uint64, cacheSize int) (*snap
 	if err != nil {
 		return nil, fmt.Errorf("serve: loading graph: %w", err)
 	}
-	mf, err := os.Open(modelPath)
+	if sv.cfg.SnapshotFormat == FormatSnap {
+		return sv.loadSnapSnapshot(g, gen)
+	}
+	mf, err := os.Open(sv.cfg.ModelPath)
 	if err != nil {
 		return nil, fmt.Errorf("serve: opening model: %w", err)
 	}
@@ -58,17 +76,96 @@ func loadSnapshot(graphPath, modelPath string, gen uint64, cacheSize int) (*snap
 	if err != nil {
 		return nil, fmt.Errorf("serve: loading model: %w", err)
 	}
-	return buildSnapshot(m, gen, cacheSize)
+	f, err := m.Freeze()
+	if err != nil {
+		return nil, fmt.Errorf("serve: freezing model: %w", err)
+	}
+	s := newSnapshot(f, gen, sv.cfg.CacheSize)
+	sp := sv.run.Trace.Start(obs.SpanANNBuild)
+	s.index, err = ann.Build(f.FinalTable(), s.norms, sv.annConfig())
+	sp.End()
+	if err != nil {
+		return nil, fmt.Errorf("serve: building ann index: %w", err)
+	}
+	return s, nil
+}
+
+// loadSnapSnapshot builds a serving snapshot from a transn.snap/v1
+// file: O(header) validation + decode, float tables aliased straight
+// out of the read-only mapping (no re-materialization), and the HNSW
+// index decoded from the file's ANN section when present (built fresh
+// otherwise).
+func (sv *Server) loadSnapSnapshot(g *graph.Graph, gen uint64) (*snapshot, error) {
+	sp := sv.run.Trace.Start(obs.SpanSnapLoad)
+	snapf, err := snapfmt.Open(sv.cfg.ModelPath, snapfmt.OpenOptions{})
+	sp.End()
+	if err != nil {
+		return nil, fmt.Errorf("serve: opening snapshot: %w", err)
+	}
+	ok := false
+	defer func() {
+		if !ok {
+			snapf.Close()
+		}
+	}()
+	m, err := snapf.Model(g)
+	if err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	// FreezeWithFinal reuses the stored (possibly mmap-aliased) final
+	// table: a .snap is finite by construction (SNAPSHOT.md §1), so no
+	// sweep and no re-averaging — this is what keeps reload allocation
+	// bounded regardless of model size.
+	f, err := m.FreezeWithFinal(snapf.Final())
+	if err != nil {
+		return nil, fmt.Errorf("serve: freezing snapshot model: %w", err)
+	}
+	s := newSnapshot(f, gen, sv.cfg.CacheSize)
+	asp := sv.run.Trace.Start(obs.SpanANNBuild)
+	if annData := snapf.ANN(); len(annData) > 0 {
+		s.index, err = ann.Decode(annData, f.FinalTable(), s.norms)
+	} else {
+		s.index, err = ann.Build(f.FinalTable(), s.norms, sv.annConfig())
+	}
+	asp.End()
+	if err != nil {
+		return nil, fmt.Errorf("serve: ann index: %w", err)
+	}
+	s.snapf = snapf
+	// The mapping must outlive every aliased table; tie Close to the
+	// snapshot's own lifetime. The finalizer closure must not capture s
+	// (that would keep it reachable forever) — it receives the dying
+	// object as its argument.
+	runtime.SetFinalizer(s, func(old *snapshot) { old.snapf.Close() })
+	sv.snapLoads.Add(1)
+	if snapf.Mapped() {
+		sv.snapMapped.Set(float64(snapf.SizeBytes()))
+	} else {
+		sv.snapMapped.Set(0)
+	}
+	ok = true
+	return s, nil
 }
 
 // buildSnapshot freezes an in-memory model and derives the serving
-// indexes. Split from loadSnapshot so tests can serve freshly trained
-// models without a round-trip through disk.
+// indexes with default ANN parameters. Split out so tests can serve
+// freshly trained models without a round-trip through disk.
 func buildSnapshot(m *transn.Model, gen uint64, cacheSize int) (*snapshot, error) {
 	f, err := m.Freeze()
 	if err != nil {
 		return nil, fmt.Errorf("serve: freezing model: %w", err)
 	}
+	s := newSnapshot(f, gen, cacheSize)
+	s.index, err = ann.Build(f.FinalTable(), s.norms, ann.Config{})
+	if err != nil {
+		return nil, fmt.Errorf("serve: building ann index: %w", err)
+	}
+	return s, nil
+}
+
+// newSnapshot derives the name maps and norms every snapshot needs,
+// regardless of which format loaded the model.
+func newSnapshot(f *transn.Frozen, gen uint64, cacheSize int) *snapshot {
 	g := f.Graph()
 	s := &snapshot{
 		frozen:     f,
@@ -96,7 +193,7 @@ func buildSnapshot(m *transn.Model, gen uint64, cacheSize int) (*snapshot, error
 		}
 		s.norms[i] = math.Sqrt(ss)
 	}
-	return s, nil
+	return s
 }
 
 // node resolves a node name, or a typed 404.
@@ -126,11 +223,13 @@ type Neighbor struct {
 	Similarity float64 `json:"similarity"`
 }
 
-// knn returns the k nearest neighbors of node id under cosine
-// similarity over final embeddings, excluding id itself. Ties break by
-// node ID so results are deterministic for a given snapshot. Zero-norm
-// rows (possible only for isolated pathologies) score 0.
-func (s *snapshot) knn(id graph.NodeID, k int) []Neighbor {
+// knnExact returns the exact k nearest neighbors of node id by
+// brute-force scan: cosine similarity over final embeddings, excluding
+// id itself. Ties break by node ID so results are deterministic for a
+// given snapshot. Zero-norm rows (possible only for isolated
+// pathologies) score 0. This is the ground truth behind /v1/knn's
+// exact=true escape hatch and the recall tests.
+func (s *snapshot) knnExact(id graph.NodeID, k int) []Neighbor {
 	final := s.frozen.FinalTable()
 	q := final.Row(int(id))
 	qn := s.norms[id]
@@ -168,4 +267,28 @@ func (s *snapshot) knn(id graph.NodeID, k int) []Neighbor {
 		out = append(out, Neighbor{Node: g.Nodes[sc.id].Name, Similarity: sc.sim})
 	}
 	return out
+}
+
+// knnIndex answers k-NN through the snapshot's HNSW index: search for
+// k+1 (the query row itself ranks first), drop the query, trim to k.
+// ef <= 0 means the index's configured default. Returns the neighbors
+// and the number of distance evaluations spent.
+func (s *snapshot) knnIndex(id graph.NodeID, k, ef int) ([]Neighbor, int, error) {
+	final := s.frozen.FinalTable()
+	cands, evals, err := s.index.Search(final.Row(int(id)), s.norms[id], k+1, ef)
+	if err != nil {
+		return nil, evals, err
+	}
+	g := s.frozen.Graph()
+	out := make([]Neighbor, 0, k)
+	for _, c := range cands {
+		if c.ID == int(id) {
+			continue
+		}
+		out = append(out, Neighbor{Node: g.Nodes[c.ID].Name, Similarity: c.Sim})
+		if len(out) == k {
+			break
+		}
+	}
+	return out, evals, nil
 }

@@ -1,0 +1,168 @@
+package snapfmt
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc64"
+)
+
+// Wire-format constants for transn.snap/v1. SNAPSHOT.md is the
+// normative spec; the section references in errors below point into it.
+const (
+	// Magic opens every .snap file (SNAPSHOT.md §2.1).
+	Magic = "TRANSNAP"
+	// Version is the format version this package reads and writes
+	// (§2.2, §10).
+	Version = 1
+	// HeaderSize is the fixed header length in bytes (§2).
+	HeaderSize = 40
+	// DirEntrySize is the size of one section-directory entry (§2.5).
+	DirEntrySize = 24
+	// Align is the section alignment guarantee (§3.2): every section
+	// offset is a multiple of Align, which is what makes f64 payloads
+	// mmap-aliasable.
+	Align = 8
+	// TrailerSize is the length of the whole-file checksum trailer
+	// (§9).
+	TrailerSize = 8
+)
+
+// SectionKind identifies a section's payload type (§2.5).
+type SectionKind uint32
+
+// Section kinds of transn.snap/v1. Readers must reject unknown kinds
+// (§10): v1 has no optional-section semantics beyond ANN presence.
+const (
+	// KindConfig is the fixed-size training configuration (§4).
+	KindConfig SectionKind = 1
+	// KindNames is the node-name string table (§5).
+	KindNames SectionKind = 2
+	// KindFinal is the final averaged embedding table (§6).
+	KindFinal SectionKind = 3
+	// KindViewIn / KindViewOut are per-view input/output embedding
+	// tables; Arg is the view index (§6).
+	KindViewIn  SectionKind = 4
+	KindViewOut SectionKind = 5
+	// KindTrans packs every translator weight and bias stack (§7).
+	KindTrans SectionKind = 6
+	// KindANN is the opaque serialized HNSW graph (§8).
+	KindANN SectionKind = 7
+)
+
+// String returns the spec name of the kind.
+func (k SectionKind) String() string {
+	switch k {
+	case KindConfig:
+		return "config"
+	case KindNames:
+		return "names"
+	case KindFinal:
+		return "final"
+	case KindViewIn:
+		return "view_in"
+	case KindViewOut:
+		return "view_out"
+	case KindTrans:
+		return "trans"
+	case KindANN:
+		return "ann"
+	}
+	return fmt.Sprintf("unknown(%d)", uint32(k))
+}
+
+// Section is one decoded directory entry (§2.5): a kind, a
+// kind-specific argument (the view index for per-view tables, zero
+// otherwise), and the payload's absolute byte range.
+type Section struct {
+	Kind   SectionKind
+	Arg    uint32
+	Offset uint64
+	Length uint64
+}
+
+// crcTable is the CRC64-ECMA table used for the trailer checksum (§9).
+var crcTable = crc64.MakeTable(crc64.ECMA)
+
+// Checksum computes the whole-file checksum over everything before the
+// trailer (§9).
+func Checksum(body []byte) uint64 {
+	return crc64.Checksum(body, crcTable)
+}
+
+// pad8 returns the padding needed to 8-align n (§3.2).
+func pad8(n uint64) uint64 { return (Align - n%Align) % Align }
+
+// specErr formats a validation error citing its SNAPSHOT.md section.
+func specErr(section, format string, args ...any) error {
+	return fmt.Errorf("snapfmt: %s (SNAPSHOT.md %s)", fmt.Sprintf(format, args...), section)
+}
+
+// parseHeader validates the fixed header and section directory against
+// §2 and returns the directory. data must be the whole file.
+func parseHeader(data []byte) ([]Section, error) {
+	if len(data) < HeaderSize+TrailerSize {
+		return nil, specErr("§2", "file truncated: %d bytes, header alone needs %d", len(data), HeaderSize)
+	}
+	if string(data[:8]) != Magic {
+		return nil, specErr("§2.1", "bad magic %q, want %q", data[:8], Magic)
+	}
+	version := binary.LittleEndian.Uint32(data[8:12])
+	if version != Version {
+		return nil, specErr("§2.2", "unsupported version %d, this reader handles %d", version, Version)
+	}
+	if flags := binary.LittleEndian.Uint32(data[12:16]); flags != 0 {
+		return nil, specErr("§2.3", "unknown flags %#x, v1 defines none", flags)
+	}
+	sectionCount := binary.LittleEndian.Uint32(data[16:20])
+	if hs := binary.LittleEndian.Uint32(data[20:24]); hs != HeaderSize {
+		return nil, specErr("§2.3", "header size %d, want %d", hs, HeaderSize)
+	}
+	fileSize := binary.LittleEndian.Uint64(data[24:32])
+	if fileSize != uint64(len(data)) {
+		return nil, specErr("§2.4", "header says %d bytes, file has %d", fileSize, len(data))
+	}
+	if rsv := binary.LittleEndian.Uint64(data[32:40]); rsv != 0 {
+		return nil, specErr("§2.3", "reserved header field is %#x, must be zero", rsv)
+	}
+	dirEnd := uint64(HeaderSize) + uint64(sectionCount)*DirEntrySize
+	if dirEnd > fileSize-TrailerSize {
+		return nil, specErr("§2.5", "directory of %d entries overruns the file", sectionCount)
+	}
+	sections := make([]Section, sectionCount)
+	prevEnd := dirEnd
+	for i := range sections {
+		e := data[HeaderSize+i*DirEntrySize:]
+		s := Section{
+			Kind:   SectionKind(binary.LittleEndian.Uint32(e[0:4])),
+			Arg:    binary.LittleEndian.Uint32(e[4:8]),
+			Offset: binary.LittleEndian.Uint64(e[8:16]),
+			Length: binary.LittleEndian.Uint64(e[16:24]),
+		}
+		if s.Kind < KindConfig || s.Kind > KindANN {
+			return nil, specErr("§2.5", "section %d has unknown kind %d", i, uint32(s.Kind))
+		}
+		if s.Offset%Align != 0 {
+			return nil, specErr("§3.2", "section %d (%s) offset %d is not %d-aligned", i, s.Kind, s.Offset, Align)
+		}
+		if s.Offset < prevEnd {
+			return nil, specErr("§2.5", "section %d (%s) at offset %d overlaps the previous section", i, s.Kind, s.Offset)
+		}
+		end := s.Offset + s.Length
+		if end < s.Offset || end > fileSize-TrailerSize {
+			return nil, specErr("§2.5", "section %d (%s) [%d,%d) overruns the file body", i, s.Kind, s.Offset, end)
+		}
+		sections[i] = s
+		prevEnd = end
+	}
+	return sections, nil
+}
+
+// verifyChecksum validates the trailer (§9) against the file body.
+func verifyChecksum(data []byte) error {
+	body := data[:len(data)-TrailerSize]
+	want := binary.LittleEndian.Uint64(data[len(data)-TrailerSize:])
+	if got := Checksum(body); got != want {
+		return specErr("§9", "checksum mismatch: file says %016x, content hashes to %016x", want, got)
+	}
+	return nil
+}

@@ -39,6 +39,28 @@ func (m *Model) Freeze() (*Frozen, error) {
 	return f, nil
 }
 
+// FreezeWithFinal builds the read-only view around a precomputed final
+// table instead of re-averaging one, for loaders whose format already
+// stores it (internal/snapfmt — where the table may alias a read-only
+// mmap that must not be re-materialized on reload). The caller vouches
+// that final is this model's Section III-C table and that both were
+// validated finite when the snapshot was packed; only the shape is
+// checked here.
+func (m *Model) FreezeWithFinal(final *mat.Dense) (*Frozen, error) {
+	if final == nil {
+		return nil, fmt.Errorf("transn: FreezeWithFinal: nil final table")
+	}
+	if final.R != m.Graph.NumNodes() || final.C != m.Cfg.Dim {
+		return nil, fmt.Errorf("transn: FreezeWithFinal: table is %dx%d, want %dx%d",
+			final.R, final.C, m.Graph.NumNodes(), m.Cfg.Dim)
+	}
+	f := &Frozen{m: m, final: final, pairIdx: map[[2]int]int{}}
+	for p, pr := range m.pairs {
+		f.pairIdx[[2]int{pr.I, pr.J}] = p
+	}
+	return f, nil
+}
+
 // Model returns the underlying model, for observe-only consumers
 // (internal/diag). Callers must uphold the read-only contract.
 func (f *Frozen) Model() *Model { return f.m }

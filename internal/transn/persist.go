@@ -7,7 +7,6 @@ import (
 
 	"transn/internal/graph"
 	"transn/internal/mat"
-	"transn/internal/skipgram"
 )
 
 // persistedConfig mirrors the serializable fields of Config. Config
@@ -164,7 +163,8 @@ func (m *Model) Save(w io.Writer) error {
 
 // Load reconstructs a model saved with Save. g must be the graph the
 // model was trained on (same nodes, edges and types); view shapes are
-// validated against the stored tables.
+// validated against the stored tables (via FromExport, the validation
+// path shared with the binary snapshot format).
 func Load(r io.Reader, g *graph.Graph) (*Model, error) {
 	var pm persistedModel
 	if err := gob.NewDecoder(r).Decode(&pm); err != nil {
@@ -173,48 +173,23 @@ func Load(r io.Reader, g *graph.Graph) (*Model, error) {
 	if pm.Version != 1 {
 		return nil, fmt.Errorf("transn: unsupported model version %d", pm.Version)
 	}
-	m := &Model{Cfg: pm.Cfg.config(), Graph: g, views: g.Views()}
-	if len(pm.EmbIn) != len(m.views) {
-		return nil, fmt.Errorf("transn: model has %d views, graph has %d",
-			len(pm.EmbIn), len(m.views))
+	e := Export{Cfg: pm.Cfg.config(), TranslatorSimple: pm.Simple}
+	for vi := range pm.EmbIn {
+		e.EmbIn = append(e.EmbIn, fromBlob(pm.EmbIn[vi]))
+		e.EmbOut = append(e.EmbOut, fromBlob(pm.EmbOut[vi]))
 	}
-	for vi, v := range m.views {
-		in := fromBlob(pm.EmbIn[vi])
-		out := fromBlob(pm.EmbOut[vi])
-		if in == nil {
-			m.emb = append(m.emb, nil)
-			continue
-		}
-		if in.R != v.NumNodes() {
-			return nil, fmt.Errorf("transn: view %d has %d nodes, stored table has %d rows",
-				vi, v.NumNodes(), in.R)
-		}
-		m.emb = append(m.emb, &skipgram.Model{In: in, Out: out})
-	}
-	// Translators (pairs are re-derived from the graph in order).
-	if len(pm.TransW) > 0 {
-		m.pairs = g.ViewPairs()
-		if len(m.pairs) != len(pm.TransW) {
-			return nil, fmt.Errorf("transn: model has %d view-pairs, graph has %d",
-				len(pm.TransW), len(m.pairs))
-		}
-		for p := range pm.TransW {
-			var pair [2]*Translator
-			for side := 0; side < 2; side++ {
-				if len(pm.TransW[p][side]) == 0 {
-					continue
-				}
-				t := &Translator{Simple: pm.Simple}
-				for _, wb := range pm.TransW[p][side] {
-					t.Ws = append(t.Ws, fromBlob(wb))
-				}
-				for _, bb := range pm.TransB[p][side] {
-					t.Bs = append(t.Bs, fromBlob(bb))
-				}
-				pair[side] = t
+	for p := range pm.TransW {
+		var w2, b2 [2][]*mat.Dense
+		for side := 0; side < 2; side++ {
+			for _, wb := range pm.TransW[p][side] {
+				w2[side] = append(w2[side], fromBlob(wb))
 			}
-			m.trans = append(m.trans, pair)
+			for _, bb := range pm.TransB[p][side] {
+				b2[side] = append(b2[side], fromBlob(bb))
+			}
 		}
+		e.TransW = append(e.TransW, w2)
+		e.TransB = append(e.TransB, b2)
 	}
-	return m, nil
+	return FromExport(e, g)
 }
